@@ -1,0 +1,61 @@
+// SC10 Figure 5: one-way counted-remote-write latency vs. torus hops on a
+// 512-node (8x8x8) machine, for 0 B and 256 B payloads, unidirectional and
+// bidirectional. Hops 1-4 run along X; hops 5-12 add Y then Z hops.
+// Paper anchors: 162 ns at 1 hop, 76 ns/hop in X, 54 ns/hop in Y/Z, and a
+// 12-hop latency roughly 5x the 1-hop latency.
+#include "bench_common.hpp"
+
+using namespace anton;
+
+namespace {
+
+util::TorusCoord destAtHops(int hops) {
+  // 1-4: X only; 5-8: add Y; 9-12: add Z (shortest-path max 4 per dim).
+  int hx = std::min(hops, 4);
+  int hy = std::min(std::max(hops - 4, 0), 4);
+  int hz = std::min(std::max(hops - 8, 0), 4);
+  return {hx, hy, hz};
+}
+
+double measure(int hops, std::size_t payload, bool bidir) {
+  sim::Simulator sim;
+  net::Machine m(sim, {8, 8, 8});
+  net::ClientAddr src{0, net::kSlice0};
+  net::ClientAddr dst{util::torusIndex(destAtHops(hops), m.shape()),
+                      hops == 0 ? net::kSlice1 : net::kSlice0};
+  return bidir ? bench::bidirLatencyNs(m, src, dst, payload)
+               : bench::oneWayLatencyNs(m, src, dst, payload, true);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5: one-way latency vs. network hops (8x8x8 torus)");
+  util::TablePrinter table({"hops", "0B uni (ns)", "0B bidir (ns)",
+                            "256B uni (ns)", "256B bidir (ns)"});
+  util::CsvWriter csv("fig05_latency_vs_hops.csv");
+  csv.row("hops", "uni0_ns", "bidir0_ns", "uni256_ns", "bidir256_ns");
+  for (int h = 0; h <= 12; ++h) {
+    double u0 = measure(h, 0, false);
+    double b0 = measure(h, 0, true);
+    double u256 = measure(h, 256, false);
+    double b256 = measure(h, 256, true);
+    table.addRow({std::to_string(h), util::TablePrinter::num(u0, 1),
+                  util::TablePrinter::num(b0, 1),
+                  util::TablePrinter::num(u256, 1),
+                  util::TablePrinter::num(b256, 1)});
+    csv.row(h, u0, b0, u256, b256);
+  }
+  table.print(std::cout);
+
+  double h1 = measure(1, 0, false);
+  double h4 = measure(4, 0, false);
+  double h12 = measure(12, 0, false);
+  std::cout << "\npaper anchors: 1 hop = 162 ns (measured "
+            << util::TablePrinter::num(h1, 1) << "), X slope = 76 ns/hop (measured "
+            << util::TablePrinter::num((h4 - h1) / 3.0, 1)
+            << "), 12-hop/1-hop = ~5x (measured "
+            << util::TablePrinter::num(h12 / h1, 2) << "x)\n"
+            << "series written to fig05_latency_vs_hops.csv\n";
+  return 0;
+}

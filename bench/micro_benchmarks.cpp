@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks: host-side performance of the simulation
+// kernel, the network model, the FFT, and the force kernels. These measure
+// the *simulator's* throughput (events/s, packets/s), not simulated time.
+#include <benchmark/benchmark.h>
+
+#include "core/allreduce.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/grid3d.hpp"
+#include "md/forces.hpp"
+#include "net/machine.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+using namespace anton;
+
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int n = int(state.range(0));
+    for (int i = 0; i < n; ++i) s.after(sim::ns(i % 97), [] {});
+    s.run();
+    benchmark::DoNotOptimize(s.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CoroutineTaskSpawn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    auto worker = [](sim::Simulator& ss) -> sim::Task {
+      co_await ss.delay(sim::ns(5));
+      co_await ss.delay(sim::ns(5));
+    };
+    for (int i = 0; i < state.range(0); ++i) s.spawn(worker(s));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineTaskSpawn)->Arg(1 << 10);
+
+void BM_PacketRoutingRate(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::MachineConfig cfg;
+    cfg.clientMemBytes = 64 << 10;
+    net::Machine m(s, {8, 8, 8}, cfg);
+    net::NetworkClient::SendArgs args;
+    args.counterId = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      args.dst = {(i * 37) % 512, net::kSlice0};
+      m.client({i % 512, net::kSlice1}).post(args);
+    }
+    s.run();
+    benchmark::DoNotOptimize(m.stats().packetsDelivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PacketRoutingRate)->Arg(1 << 12)->Iterations(20);
+
+void BM_AllReduce512(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::MachineConfig mc;
+    mc.clientMemBytes = 192 << 10;
+    net::Machine m(s, {8, 8, 8}, mc);
+    core::AllReduceConfig cfg;
+    cfg.memBase = 0x8000;
+    core::DimOrderedAllReduce red(m, cfg);
+    auto task = [&](int node) -> sim::Task {
+      std::vector<double> in(4, double(node));
+      co_await red.run(node, std::move(in), nullptr);
+    };
+    for (int n = 0; n < 512; ++n) s.spawn(task(n));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_AllReduce512)->Iterations(3);
+
+void BM_Fft1d(benchmark::State& state) {
+  std::size_t n = std::size_t(state.range(0));
+  sim::Rng rng(1);
+  std::vector<fft::Complex> a(n);
+  for (auto& x : a) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    std::vector<fft::Complex> b = a;
+    fft::fft1d(b, false);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft1d)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_Fft3d32(benchmark::State& state) {
+  fft::Grid3D g(32, 32, 32);
+  sim::Rng rng(2);
+  for (auto& x : g.data()) x = {rng.uniform(-1, 1), 0.0};
+  for (auto _ : state) {
+    fft::Grid3D h = g;
+    fft::fft3d(h, false);
+    benchmark::DoNotOptimize(h.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * long(g.size()));
+}
+BENCHMARK(BM_Fft3d32);
+
+void BM_RangeLimitedForces(benchmark::State& state) {
+  md::SyntheticSystemParams p;
+  p.targetAtoms = int(state.range(0));
+  md::MDSystem sys = md::buildSyntheticSystem(p);
+  md::ForceParams fp;
+  for (auto _ : state) {
+    std::vector<md::Vec3> f(std::size_t(sys.numAtoms()));
+    double e = md::rangeLimitedForces(sys, fp, f);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RangeLimitedForces)->Arg(1000)->Arg(4000);
+
+void BM_BondedForces(benchmark::State& state) {
+  md::SyntheticSystemParams p;
+  p.targetAtoms = 4000;
+  md::MDSystem sys = md::buildSyntheticSystem(p);
+  for (auto _ : state) {
+    std::vector<md::Vec3> f(std::size_t(sys.numAtoms()));
+    double e = md::bondedForces(sys, f);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          long(sys.bonds.size() + sys.angles.size() +
+                               sys.dihedrals.size()));
+}
+BENCHMARK(BM_BondedForces);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Distributed 3D FFT demo: transform a plane wave on a simulated Anton
+// machine with fine-grained counted remote writes, verify the spectrum, and
+// compare the paper-faithful one-point-per-packet pattern against batched
+// packets.
+//
+//   ./examples/fft3d_demo
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "fft/distributed.hpp"
+#include "fft/grid3d.hpp"
+
+using namespace anton;
+
+namespace {
+
+double runTransform(int pointsPerPacket, bool report) {
+  sim::Simulator sim;
+  net::Machine machine(sim, {4, 4, 4});
+  fft::DistributedFftConfig cfg;
+  cfg.pointsPerPacket = pointsPerPacket;
+  fft::DistributedFft3D dist(machine, 16, 16, 16, cfg);
+
+  // Load a plane wave exp(i k.r) with k = (3, 5, 2).
+  const int n = 16, kx = 3, ky = 5, kz = 2;
+  std::vector<fft::Complex> grid(n * n * n);
+  for (int z = 0; z < n; ++z)
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x) {
+        double ph = 2.0 * std::numbers::pi * (kx * x + ky * y + kz * z) / n;
+        grid[std::size_t(x + n * (y + n * z))] = {std::cos(ph), std::sin(ph)};
+      }
+  dist.loadGrid(grid);
+
+  auto task = [&](int node) -> sim::Task { co_await dist.run(node, false); };
+  sim::Time t0 = sim.now();
+  for (int node = 0; node < machine.numNodes(); ++node) sim.spawn(task(node));
+  sim.run();
+  double us = sim::toUs(sim.now() - t0);
+
+  if (report) {
+    auto out = dist.extractGrid();
+    double peak = 0;
+    int px = 0, py = 0, pz = 0;
+    for (int z = 0; z < n; ++z)
+      for (int y = 0; y < n; ++y)
+        for (int x = 0; x < n; ++x) {
+          double mag = std::abs(out[std::size_t(x + n * (y + n * z))]);
+          if (mag > peak) {
+            peak = mag;
+            px = x;
+            py = y;
+            pz = z;
+          }
+        }
+    std::cout << "  spectrum peak at (" << px << "," << py << "," << pz
+              << ") magnitude " << peak << " (expected (" << kx << "," << ky
+              << "," << kz << ") magnitude " << n * n * n << ")\n";
+    std::cout << "  packets per node per transform: "
+              << dist.packetsPerNodePerTransform(0) << ", machine total "
+              << machine.stats().packetsInjected << "\n";
+  }
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Distributed 16^3 FFT on a 4x4x4 Anton machine\n\n";
+  std::cout << "one grid point per packet (paper-faithful, SC10 IV-B3):\n";
+  double fine = runTransform(1, true);
+  std::cout << "  simulated time: " << fine << " us\n\n";
+
+  std::cout << "batched packets (up to 16 points):\n";
+  double batched = runTransform(0, true);
+  std::cout << "  simulated time: " << batched << " us\n\n";
+
+  std::cout << "fine-grained costs only "
+            << (fine / batched) << "x the batched transform on this fabric — "
+               "the paper's point that per-message overhead is low enough to "
+               "send single grid points.\n";
+  return 0;
+}

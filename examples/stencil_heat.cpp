@@ -1,0 +1,175 @@
+// Beyond MD: counted remote writes for a generic domain-decomposition code.
+//
+// SC10 §VI argues the paradigm transfers to any application where "a
+// processor associated with a subdomain must wait to receive data from
+// processors associated with neighboring subdomains": this example solves a
+// 3D heat-diffusion stencil on the simulated Anton machine. Each node owns a
+// block of the global grid; every iteration it pushes its six boundary faces
+// directly into the neighbors' preallocated halo slots as counted remote
+// writes, polls one counter until all six faces have arrived, and relaxes
+// its block. No barriers, no handshakes — inter-iteration data dependencies
+// stand in for synchronization exactly as in the MD code.
+//
+//   ./examples/stencil_heat [iterations]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "sim/simulator.hpp"
+
+using namespace anton;
+
+namespace {
+
+constexpr int kB = 8;           // block extent per node per dimension
+constexpr double kAlpha = 0.1;  // diffusion coefficient
+
+struct NodeGrid {
+  std::vector<double> cells;    // kB^3, x fastest
+  double& at(int x, int y, int z) {
+    return cells[std::size_t(x + kB * (y + kB * z))];
+  }
+};
+
+struct App {
+  sim::Simulator sim;
+  net::Machine machine;
+  util::TorusShape shape{4, 4, 4};
+  std::vector<NodeGrid> grid;
+  std::vector<NodeGrid> next;
+  int iterations;
+  double finishUs = 0;
+
+  explicit App(int iters)
+      : machine(sim, {4, 4, 4}),
+        grid(64),
+        next(64),
+        iterations(iters) {
+    for (auto& g : grid) g.cells.assign(kB * kB * kB, 0.0);
+    for (auto& g : next) g.cells.assign(kB * kB * kB, 0.0);
+    // Hot spot in the middle of node (2,2,2).
+    grid[std::size_t(util::torusIndex({2, 2, 2}, shape))].at(4, 4, 4) = 1000.0;
+  }
+
+  // Halo layout in each node's slice-0 memory: 6 faces x kB^2 doubles.
+  static std::uint32_t faceAddr(int face) {
+    return std::uint32_t(face) * kB * kB * 8;
+  }
+
+  // Pull one face of the local block into a contiguous buffer.
+  std::vector<double> packFace(int node, int dim, int sign) {
+    std::vector<double> out(kB * kB);
+    int idx = 0;
+    for (int b = 0; b < kB; ++b)
+      for (int a = 0; a < kB; ++a) {
+        int c[3];
+        c[dim] = sign > 0 ? kB - 1 : 0;
+        c[(dim + 1) % 3] = a;
+        c[(dim + 2) % 3] = b;
+        out[std::size_t(idx++)] = grid[std::size_t(node)].at(c[0], c[1], c[2]);
+      }
+    return out;
+  }
+
+  sim::Task nodeTask(int node) {
+    net::ProcessingSlice& me = machine.slice(node, 0);
+    util::TorusCoord coord = util::torusCoordOf(node, shape);
+    const int facePackets = int((kB * kB * 8 + net::kMaxPayloadBytes - 1) /
+                                net::kMaxPayloadBytes);
+    std::uint64_t expected = 0;
+
+    for (int iter = 0; iter < iterations; ++iter) {
+      // Push all six faces into the neighbors' preallocated halo slots.
+      for (int dim = 0; dim < 3; ++dim) {
+        for (int sign : {+1, -1}) {
+          int nb = util::torusIndex(util::torusNeighbor(coord, dim, sign, shape),
+                                    shape);
+          // The receiver stores my face under the *opposite* face index.
+          int slot = dim * 2 + (sign > 0 ? 1 : 0);
+          std::vector<double> face = packFace(node, dim, sign);
+          const auto* bytes = reinterpret_cast<const std::byte*>(face.data());
+          std::size_t total = face.size() * 8;
+          for (std::size_t off = 0; off < total; off += net::kMaxPayloadBytes) {
+            std::size_t n = std::min(net::kMaxPayloadBytes, total - off);
+            net::NetworkClient::SendArgs args;
+            args.dst = {nb, net::kSlice0};
+            args.counterId = 0;
+            args.address = faceAddr(slot) + std::uint32_t(off);
+            args.payload = net::makePayload(bytes + off, n);
+            co_await me.send(args);
+          }
+        }
+      }
+
+      // Counted synchronization: six faces' worth of packets per iteration.
+      expected += std::uint64_t(6 * facePackets);
+      co_await me.waitCounter(0, expected);
+
+      // Jacobi relaxation using local cells + received halos.
+      auto halo = [&](int face, int a, int b) {
+        return me.read<double>(faceAddr(face) +
+                               std::uint32_t(a + kB * b) * 8u);
+      };
+      NodeGrid& g = grid[std::size_t(node)];
+      NodeGrid& n2 = next[std::size_t(node)];
+      for (int z = 0; z < kB; ++z)
+        for (int y = 0; y < kB; ++y)
+          for (int x = 0; x < kB; ++x) {
+            int c[3] = {x, y, z};
+            double sum = 0;
+            for (int dim = 0; dim < 3; ++dim) {
+              for (int sign : {+1, -1}) {
+                int cc[3] = {c[0], c[1], c[2]};
+                cc[dim] += sign;
+                if (cc[dim] >= 0 && cc[dim] < kB) {
+                  sum += g.at(cc[0], cc[1], cc[2]);
+                } else {
+                  int face = dim * 2 + (sign > 0 ? 0 : 1);
+                  sum += halo(face, c[(dim + 1) % 3], c[(dim + 2) % 3]);
+                }
+              }
+            }
+            n2.at(x, y, z) = g.at(x, y, z) + kAlpha * (sum - 6 * g.at(x, y, z));
+          }
+      std::swap(g.cells, n2.cells);
+      // Compute cost of the 512-cell relaxation on the geometry cores.
+      co_await sim.delay(sim::ns(2.0 * kB * kB * kB));
+    }
+    finishUs = std::max(finishUs, sim::toUs(sim.now()));
+  }
+
+  double totalHeat() const {
+    double t = 0;
+    for (const auto& g : grid)
+      for (double v : g.cells) t += v;
+    return t;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = argc > 1 ? std::atoi(argv[1]) : 50;
+  std::cout << "3D heat diffusion on a 4x4x4 Anton machine (32^3 grid, "
+            << iters << " iterations)\n";
+  App app(iters);
+  double before = app.totalHeat();
+  for (int n = 0; n < 64; ++n) app.sim.spawn(app.nodeTask(n));
+  app.sim.run();
+
+  double after = app.totalHeat();
+  double hot = app.grid[std::size_t(util::torusIndex({2, 2, 2}, app.shape))]
+                   .at(4, 4, 4);
+  std::cout << "  heat conserved: " << before << " -> " << after
+            << " (periodic box)\n"
+            << "  hot spot decayed to " << hot << "\n"
+            << "  simulated time: " << app.finishUs << " us ("
+            << app.finishUs / iters << " us per iteration)\n"
+            << "  traffic: " << app.machine.stats().packetsInjected
+            << " packets, all counted remote writes, zero barriers\n";
+  bool ok = std::abs(after - before) < 1e-6 * before && hot < 1000.0;
+  std::cout << (ok ? "OK\n" : "FAILED\n");
+  return ok ? 0 : 1;
+}

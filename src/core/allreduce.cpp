@@ -1,0 +1,211 @@
+#include "core/allreduce.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace anton::core {
+
+using net::MulticastEntry;
+using net::RingLayout;
+
+namespace {
+
+int maxExtent(const util::TorusShape& s) {
+  return std::max({s.nx, s.ny, s.nz});
+}
+
+std::shared_ptr<const std::vector<std::byte>> packDoubles(
+    std::span<const double> xs) {
+  if (xs.empty()) return nullptr;
+  return net::makePayload(xs.data(), xs.size() * sizeof(double));
+}
+
+}  // namespace
+
+// --- DimOrderedAllReduce ----------------------------------------------------
+
+DimOrderedAllReduce::DimOrderedAllReduce(net::Machine& machine,
+                                         AllReduceConfig cfg)
+    : machine_(machine), cfg_(cfg), rounds_(std::size_t(machine.numNodes())) {
+  if (cfg_.maxBytes > net::kMaxPayloadBytes)
+    throw std::invalid_argument("all-reduce payload exceeds packet payload");
+  installPatterns();
+}
+
+int DimOrderedAllReduce::patternId(int dim, int pos) const {
+  return cfg_.patternBase + dim * maxExtent(machine_.shape()) + pos;
+}
+
+std::uint32_t DimOrderedAllReduce::slotAddr(int pos, int parity) const {
+  return cfg_.memBase +
+         std::uint32_t(pos * 2 + parity) * std::uint32_t(cfg_.maxBytes);
+}
+
+void DimOrderedAllReduce::installPatterns() {
+  const util::TorusShape& shape = machine_.shape();
+  for (int dim = 0; dim < 3; ++dim) {
+    int n = shape.extent(dim);
+    if (n < 2) continue;
+    // The line broadcast from position `pos` reaches positions ahead of it
+    // (+dim chain, length fwd) and behind it (-dim chain, length bwd).
+    int fwd = n / 2;
+    int bwd = n - 1 - fwd;
+    for (int pos = 0; pos < n; ++pos) {
+      int id = patternId(dim, pos);
+      for (int nodeIdx = 0; nodeIdx < machine_.numNodes(); ++nodeIdx) {
+        int j = util::torusCoordOf(nodeIdx, shape)[dim];
+        int kf = util::wrap(j - pos, n);
+        int kb = util::wrap(pos - j, n);
+        MulticastEntry e;
+        if (kf == 0) {
+          // Source position: fork both ways, no local delivery.
+          if (fwd >= 1) e.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, +1));
+          if (bwd >= 1) e.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, -1));
+        } else if (kf <= fwd) {
+          e.clientMask = std::uint8_t(1u << dim);  // slice `dim`
+          if (kf < fwd) e.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, +1));
+        } else {  // kb <= bwd
+          e.clientMask = std::uint8_t(1u << dim);
+          if (kb < bwd) e.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, -1));
+        }
+        machine_.setMulticastPattern(nodeIdx, id, e);
+      }
+    }
+  }
+}
+
+sim::Task DimOrderedAllReduce::run(int nodeIdx, std::vector<double> in,
+                                   std::vector<double>* out) {
+  const util::TorusShape& shape = machine_.shape();
+  const util::TorusCoord coord = util::torusCoordOf(nodeIdx, shape);
+  const std::size_t words = in.size();
+  if (words * sizeof(double) > cfg_.maxBytes)
+    throw std::length_error("all-reduce payload exceeds configured maxBytes");
+
+  std::vector<double> cur = std::move(in);
+  for (int dim = 0; dim < 3; ++dim) {
+    int n = shape.extent(dim);
+    if (n < 2) continue;
+    net::ProcessingSlice& slice = machine_.slice(nodeIdx, dim);
+    int pos = coord[dim];
+    int parity = int(rounds_[std::size_t(nodeIdx)][std::size_t(dim)] % 2);
+
+    net::NetworkClient::SendArgs args;
+    args.multicastPattern = patternId(dim, pos);
+    args.counterId = cfg_.counterId;
+    args.address = slotAddr(pos, parity);
+    args.payload = packDoubles(cur);
+    co_await slice.send(args);
+
+    std::uint64_t target =
+        ++rounds_[std::size_t(nodeIdx)][std::size_t(dim)] * std::uint64_t(n - 1);
+    co_await slice.waitCounter(cfg_.counterId, target);
+
+    // Redundant ordered sum across line positions: identical on every node.
+    if (words != 0) {
+      std::vector<double> acc(words, 0.0);
+      for (int i = 0; i < n; ++i) {
+        for (std::size_t w = 0; w < words; ++w) {
+          double v = (i == pos)
+                         ? cur[w]
+                         : slice.read<double>(slotAddr(i, parity) +
+                                              std::uint32_t(w * sizeof(double)));
+          acc[w] += v;
+        }
+      }
+      cur = std::move(acc);
+    }
+    co_await machine_.sim().delay(
+        sim::ns(cfg_.roundOverheadNs + cfg_.perWordNs * double(words) * n));
+  }
+
+  if (cfg_.shareLocally) {
+    // The last participating slice shares the global sum with its three
+    // peers through local remote writes (SC10 §IV-B4).
+    int lastDim = shape.nz > 1 ? 2 : shape.ny > 1 ? 1 : shape.nx > 1 ? 0 : -1;
+    if (lastDim >= 0) {
+      net::ProcessingSlice& owner = machine_.slice(nodeIdx, lastDim);
+      for (int s = 0; s < net::kNumSlices; ++s) {
+        if (s == lastDim) continue;
+        net::NetworkClient::SendArgs share;
+        share.dst = {nodeIdx, s};
+        // Past the line-broadcast slots: 2*maxExtent slots precede it.
+        share.address = slotAddr(maxExtent(machine_.shape()), 0);
+        share.payload = packDoubles(cur);
+        co_await owner.send(share);
+      }
+    }
+  }
+
+  if (out != nullptr) *out = std::move(cur);
+}
+
+// --- ButterflyAllReduce -----------------------------------------------------
+
+ButterflyAllReduce::ButterflyAllReduce(net::Machine& machine,
+                                       AllReduceConfig cfg)
+    : machine_(machine),
+      cfg_(cfg),
+      sent_(std::size_t(machine.numNodes())),
+      calls_(std::size_t(machine.numNodes())) {
+  const util::TorusShape& shape = machine.shape();
+  for (int dim = 0; dim < 3; ++dim) {
+    int n = shape.extent(dim);
+    if (n > 1 && !std::has_single_bit(unsigned(n)))
+      throw std::invalid_argument("butterfly all-reduce needs power-of-two extents");
+    roundsPerDim_[std::size_t(dim)] = std::bit_width(unsigned(n)) - 1;
+  }
+}
+
+std::uint32_t ButterflyAllReduce::slotAddr(int dim, int round, int parity) const {
+  // Up to 3 dims x log2(extent) rounds x 2 parities of maxBytes each.
+  int slot = (dim * 8 + round) * 2 + parity;
+  return cfg_.memBase + std::uint32_t(slot) * std::uint32_t(cfg_.maxBytes);
+}
+
+sim::Task ButterflyAllReduce::run(int nodeIdx, std::vector<double> in,
+                                  std::vector<double>* out) {
+  const util::TorusShape& shape = machine_.shape();
+  const util::TorusCoord coord = util::torusCoordOf(nodeIdx, shape);
+  const std::size_t words = in.size();
+  int parity = int(calls_[std::size_t(nodeIdx)]++ % 2);
+
+  std::vector<double> cur = std::move(in);
+  for (int dim = 0; dim < 3; ++dim) {
+    net::ProcessingSlice& slice = machine_.slice(nodeIdx, dim);
+    int pos = coord[dim];
+    for (int r = 0; r < roundsPerDim_[std::size_t(dim)]; ++r) {
+      util::TorusCoord partner = coord;
+      partner[dim] = pos ^ (1 << r);
+
+      net::NetworkClient::SendArgs args;
+      args.dst = {util::torusIndex(partner, shape), dim};
+      args.counterId = cfg_.counterId;
+      args.address = slotAddr(dim, r, parity);
+      args.payload = packDoubles(cur);
+      co_await slice.send(args);
+
+      std::uint64_t target = ++sent_[std::size_t(nodeIdx)][std::size_t(dim)];
+      co_await slice.waitCounter(cfg_.counterId, target);
+
+      if (words != 0) {
+        std::vector<double> theirs(words);
+        for (std::size_t w = 0; w < words; ++w)
+          theirs[w] = slice.read<double>(slotAddr(dim, r, parity) +
+                                         std::uint32_t(w * sizeof(double)));
+        // Order the operands by subcube position so every node computes
+        // bit-identical sums.
+        bool mineFirst = ((pos >> r) & 1) == 0;
+        for (std::size_t w = 0; w < words; ++w)
+          cur[w] = mineFirst ? cur[w] + theirs[w] : theirs[w] + cur[w];
+      }
+      co_await machine_.sim().delay(
+          sim::ns(cfg_.roundOverheadNs + cfg_.perWordNs * double(words) * 2));
+    }
+  }
+  if (out != nullptr) *out = std::move(cur);
+}
+
+}  // namespace anton::core

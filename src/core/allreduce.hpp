@@ -1,0 +1,81 @@
+// Global reductions built from multicast counted remote writes.
+//
+// Anton has no reduction hardware; SC10 §IV-B4 composes all-reduce from the
+// primitives instead. The dimension-ordered algorithm decomposes the 3D
+// reduction into parallel 1D all-reduces along x, then y, then z: each of
+// the N nodes on a line broadcasts its value to the other N-1 (multicast
+// counted remote writes, both ring directions), then every node redundantly
+// computes the same ordered sum in software on processing slice k (k = the
+// dimension index). Three rounds reach the global sum with the minimum hop
+// count; the butterfly variant below is the ablation baseline the paper
+// compares against (3*log2(N) rounds, 3(N-1) hops).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "sim/task.hpp"
+
+namespace anton::core {
+
+struct AllReduceConfig {
+  int patternBase = 208;  ///< pattern ids [base, base + 3*maxExtent)
+  int counterId = 200;    ///< sync counter id on each participating slice
+  std::uint32_t memBase = 0x28000;  ///< receive-slot base in slice memory
+  std::size_t maxBytes = net::kMaxPayloadBytes;  ///< largest reduction payload
+  double roundOverheadNs = 75.0;  ///< per-dimension software overhead
+  double perWordNs = 4.0;         ///< software add cost per received word
+  bool shareLocally = true;  ///< final slice shares result with its 3 peers
+};
+
+/// Dimension-ordered all-reduce over every node of a machine. Construct
+/// once (installs line-broadcast multicast patterns machine-wide), then
+/// spawn `run` collectively — one task per node — any number of times.
+class DimOrderedAllReduce {
+ public:
+  DimOrderedAllReduce(net::Machine& machine, AllReduceConfig cfg = {});
+
+  /// Collective: every node must spawn this once per reduction. `out`
+  /// receives the element-wise sum over all nodes (identical bytes on every
+  /// node); pass nullptr to discard. An empty `in` is a pure barrier.
+  sim::Task run(int nodeIdx, std::vector<double> in, std::vector<double>* out);
+
+  /// Collective barrier: a 0-byte reduction.
+  sim::Task barrier(int nodeIdx) { return run(nodeIdx, {}, nullptr); }
+
+  const AllReduceConfig& config() const { return cfg_; }
+
+ private:
+  int patternId(int dim, int pos) const;
+  std::uint32_t slotAddr(int pos, int parity) const;
+  void installPatterns();
+
+  net::Machine& machine_;
+  AllReduceConfig cfg_;
+  /// Per node, per dimension: completed line-broadcast rounds (drives the
+  /// cumulative counter thresholds and the double-buffer parity).
+  std::vector<std::array<std::uint64_t, 3>> rounds_;
+};
+
+/// Radix-2 butterfly all-reduce (recursive doubling per dimension): the
+/// algorithm the paper argues against on a torus. Requires power-of-two
+/// extents. Used by the ablation bench.
+class ButterflyAllReduce {
+ public:
+  ButterflyAllReduce(net::Machine& machine, AllReduceConfig cfg = {});
+
+  sim::Task run(int nodeIdx, std::vector<double> in, std::vector<double>* out);
+
+ private:
+  std::uint32_t slotAddr(int dim, int round, int parity) const;
+
+  net::Machine& machine_;
+  AllReduceConfig cfg_;
+  std::vector<std::array<std::uint64_t, 3>> sent_;  ///< cumulative per dim
+  std::vector<std::uint64_t> calls_;                ///< per node call count
+  std::array<int, 3> roundsPerDim_{};
+};
+
+}  // namespace anton::core

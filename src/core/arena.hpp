@@ -1,0 +1,61 @@
+// Receive-side resource allocation.
+//
+// Counted remote writes require every destination buffer to be preallocated
+// before the simulation starts (SC10 §IV-A: "fix communication patterns so
+// that a sender can push data directly to its destination"). These tiny
+// bump allocators carve up a client's local memory and counter bank so that
+// independent software subsystems (HTIS traffic, bonded forces, FFT,
+// all-reduce, migration) never collide.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/client.hpp"
+
+namespace anton::core {
+
+/// Bump allocator over one client's local memory.
+class MemoryArena {
+ public:
+  explicit MemoryArena(std::size_t capacity, std::uint32_t base = 0)
+      : next_(base), end_(std::uint32_t(base + capacity)) {}
+  explicit MemoryArena(const net::NetworkClient& c)
+      : MemoryArena(c.memoryBytes()) {}
+
+  /// Allocate `bytes` aligned to `align` (power of two). Throws when full.
+  std::uint32_t alloc(std::size_t bytes, std::uint32_t align = 8) {
+    std::uint32_t p = (next_ + align - 1) & ~(align - 1);
+    if (p + bytes > end_) throw std::runtime_error("client memory arena exhausted");
+    next_ = std::uint32_t(p + bytes);
+    return p;
+  }
+
+  std::uint32_t used() const { return next_; }
+  std::uint32_t remaining() const { return end_ - next_; }
+
+ private:
+  std::uint32_t next_;
+  std::uint32_t end_;
+};
+
+/// Bump allocator over a client's synchronization counters.
+class CounterArena {
+ public:
+  explicit CounterArena(int capacity, int base = 0) : next_(base), end_(capacity) {}
+  explicit CounterArena(const net::NetworkClient& c)
+      : CounterArena(c.numCounters()) {}
+
+  int alloc(int n = 1) {
+    if (next_ + n > end_) throw std::runtime_error("sync counters exhausted");
+    int id = next_;
+    next_ += n;
+    return id;
+  }
+
+ private:
+  int next_;
+  int end_;
+};
+
+}  // namespace anton::core

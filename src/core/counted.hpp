@@ -1,0 +1,52 @@
+// Receiver-side helpers for counted remote writes.
+//
+// Synchronization counters on Anton are cumulative — firmware avoids reset
+// races by tracking absolute thresholds. CountedChannel packages the common
+// idiom "this phase receives exactly K packets per time step on counter C".
+#pragma once
+
+#include <cstdint>
+
+#include "net/client.hpp"
+
+namespace anton::core {
+
+/// The receive side of one fixed communication pattern: `perRound` packets
+/// are expected on `counterId` of `client` every round (time step / phase).
+class CountedChannel {
+ public:
+  CountedChannel(net::NetworkClient& client, int counterId,
+                 std::uint64_t perRound)
+      : client_(&client), counterId_(counterId), perRound_(perRound) {}
+
+  net::NetworkClient& client() const { return *client_; }
+  int counterId() const { return counterId_; }
+  std::uint64_t perRound() const { return perRound_; }
+  std::uint64_t roundsCompleted() const { return rounds_; }
+
+  /// Awaitable: complete the next round (all perRound packets arrived).
+  net::NetworkClient::CounterWait nextRound() {
+    ++rounds_;
+    return client_->waitCounter(counterId_, perRound_ * rounds_);
+  }
+
+  /// Awaitable: wait until `k` of the current round's packets have arrived
+  /// (for overlap: start computing on partial data). Does not advance the
+  /// round; call nextRound() to consume the rest.
+  net::NetworkClient::CounterWait atLeast(std::uint64_t k) {
+    return client_->waitCounter(counterId_, perRound_ * rounds_ + k);
+  }
+
+  /// Change the per-round expectation (e.g. after a bond-program
+  /// regeneration alters the fixed packet counts). Only legal on a round
+  /// boundary.
+  void setPerRound(std::uint64_t perRound) { perRound_ = perRound; }
+
+ private:
+  net::NetworkClient* client_;
+  int counterId_;
+  std::uint64_t perRound_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace anton::core

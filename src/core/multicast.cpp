@@ -1,0 +1,96 @@
+#include "core/multicast.hpp"
+
+#include <stdexcept>
+
+#include "util/torus_coord.hpp"
+
+namespace anton::core {
+
+using net::MulticastEntry;
+using net::RingLayout;
+using util::TorusCoord;
+
+std::vector<int> MulticastTree::footprint() const {
+  std::vector<int> nodes;
+  nodes.reserve(entries.size());
+  for (const auto& [node, entry] : entries) nodes.push_back(node);
+  return nodes;
+}
+
+MulticastTree buildMulticastTree(const net::Machine& m, int srcNode,
+                                 const std::vector<net::ClientAddr>& dests,
+                                 std::array<int, 3> dimOrder) {
+  if (dests.empty())
+    throw std::invalid_argument("multicast tree needs at least one destination");
+  MulticastTree tree;
+  tree.srcNode = srcNode;
+  const util::TorusShape& shape = m.shape();
+
+  for (const net::ClientAddr& d : dests) {
+    if (d.client < 0 || d.client >= net::kClientsPerNode)
+      throw std::out_of_range("bad destination client id");
+    // Walk the dimension-ordered shortest path, marking forward links; the
+    // union over destinations forms the spanning tree, because every
+    // destination shares the deterministic path prefix from the source.
+    TorusCoord cur = util::torusCoordOf(srcNode, shape);
+    TorusCoord dst = util::torusCoordOf(d.node, shape);
+    int curIdx = srcNode;
+    for (int dim : dimOrder) {
+      int delta = util::signedTorusDelta(cur[dim], dst[dim], shape.extent(dim));
+      int sign = delta > 0 ? +1 : -1;
+      for (int step = 0; step < std::abs(delta); ++step) {
+        tree.entries[curIdx].linkMask |=
+            std::uint8_t(1u << RingLayout::adapterIndex(dim, sign));
+        cur = util::torusNeighbor(cur, dim, sign, shape);
+        curIdx = util::torusIndex(cur, shape);
+      }
+    }
+    tree.entries[curIdx].clientMask |= std::uint8_t(1u << d.client);
+  }
+  return tree;
+}
+
+PatternAllocator::PatternAllocator(net::Machine& m, int firstId, int lastId)
+    : machine_(m),
+      firstId_(firstId),
+      lastId_(lastId),
+      usedIdsPerNode_(std::size_t(m.numNodes())) {
+  if (firstId < 0 || lastId >= net::kMulticastPatterns || firstId > lastId)
+    throw std::invalid_argument("bad pattern id range");
+}
+
+int PatternAllocator::install(int srcNode,
+                              const std::vector<net::ClientAddr>& dests) {
+  // Rotate the tree's dimension order by source so that simultaneous
+  // broadcasts from neighboring sources spread their legs over all links.
+  static constexpr std::array<std::array<int, 3>, 6> kPerms = {{
+      {0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {0, 2, 1}, {2, 1, 0}, {1, 0, 2}}};
+  return install(
+      buildMulticastTree(machine_, srcNode, dests, kPerms[std::size_t(srcNode) % 6]));
+}
+
+int PatternAllocator::install(const MulticastTree& tree) {
+  for (int id = firstId_; id <= lastId_; ++id) {
+    bool free = true;
+    for (const auto& [node, entry] : tree.entries) {
+      if (usedIdsPerNode_[std::size_t(node)].contains(id)) {
+        free = false;
+        break;
+      }
+    }
+    if (free) {
+      installAt(tree, id);
+      return id;
+    }
+  }
+  throw std::runtime_error("multicast pattern tables exhausted");
+}
+
+void PatternAllocator::installAt(const MulticastTree& tree, int id) {
+  for (const auto& [node, entry] : tree.entries) {
+    machine_.setMulticastPattern(node, id, entry);
+    usedIdsPerNode_[std::size_t(node)].insert(id);
+  }
+}
+
+}  // namespace anton::core

@@ -1,0 +1,67 @@
+// Multicast tree construction and pattern-id management.
+//
+// Anton's network forwards a multicast packet according to per-node lookup
+// tables (up to 256 precomputed patterns per node, SC10 §III-A). This module
+// turns a logical fan-out — one source client, a set of destination clients —
+// into the per-node MulticastEntry tables of a dimension-ordered spanning
+// tree, and allocates pattern ids so that trees whose footprints overlap
+// never share an id (two sources may reuse an id iff no node appears in both
+// trees, exactly as the real tables allow).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/machine.hpp"
+
+namespace anton::core {
+
+/// The per-node table entries of one multicast tree, before installation.
+struct MulticastTree {
+  int srcNode = 0;
+  std::map<int, net::MulticastEntry> entries;  ///< node index -> entry
+
+  /// All nodes whose tables the tree touches (its interference footprint).
+  std::vector<int> footprint() const;
+};
+
+/// Build the dimension-ordered spanning tree for a fan-out from `srcNode` to
+/// `dests`. Destinations on the source node are delivered locally; the
+/// source client itself is not a destination unless listed. `dimOrder`
+/// selects the traversal order: rotating it across sources balances the
+/// final-dimension tree legs over all six link directions (with a single
+/// global order, every tree's corner legs pile onto the last dimension's
+/// links).
+MulticastTree buildMulticastTree(const net::Machine& m, int srcNode,
+                                 const std::vector<net::ClientAddr>& dests,
+                                 std::array<int, 3> dimOrder = {0, 1, 2});
+
+/// Allocates pattern ids and installs trees into a machine's node tables.
+/// Ids are assigned greedily: the smallest id unused on every footprint node
+/// of the new tree. Throws when the 256-entry tables are exhausted.
+class PatternAllocator {
+ public:
+  /// Manage ids in [firstId, lastId] (inclusive).
+  explicit PatternAllocator(net::Machine& m, int firstId = 0,
+                            int lastId = net::kMulticastPatterns - 1);
+
+  /// Install a fan-out; returns the allocated pattern id.
+  int install(int srcNode, const std::vector<net::ClientAddr>& dests);
+
+  /// Install a prebuilt tree; returns the allocated pattern id.
+  int install(const MulticastTree& tree);
+
+  /// Install a prebuilt tree under a caller-chosen id (no conflict checks
+  /// beyond a debug assertion that the slots are free). Used by subsystems
+  /// with their own id scheme (e.g. the all-reduce line broadcasts).
+  void installAt(const MulticastTree& tree, int id);
+
+ private:
+  net::Machine& machine_;
+  int firstId_;
+  int lastId_;
+  std::vector<std::set<int>> usedIdsPerNode_;  ///< node -> ids taken
+};
+
+}  // namespace anton::core

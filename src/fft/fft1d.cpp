@@ -1,0 +1,58 @@
+#include "fft/fft1d.hpp"
+
+#include <bit>
+#include <numbers>
+#include <stdexcept>
+
+namespace anton::fft {
+
+void fft1d(std::span<Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0) return;
+  if (!std::has_single_bit(n))
+    throw std::invalid_argument("fft1d: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / double(len);
+    const Complex wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= double(n);
+  }
+}
+
+std::vector<Complex> dftReference(std::span<const Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      double ang = sign * 2.0 * std::numbers::pi * double(k * t) / double(n);
+      acc += a[t] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = inverse ? acc / double(n) : acc;
+  }
+  return out;
+}
+
+}  // namespace anton::fft

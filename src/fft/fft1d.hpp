@@ -1,0 +1,23 @@
+// Complex 1D FFT (iterative radix-2 decimation-in-time).
+//
+// Used both by the host-side reference 3D convolution and by the simulated
+// per-line FFT work of the distributed transform, so the distributed result
+// is bit-identical to the host reference.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace anton::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT. `a.size()` must be a power of two. The inverse transform
+/// includes the 1/N normalization (round-tripping returns the input).
+void fft1d(std::span<Complex> a, bool inverse);
+
+/// O(n^2) reference DFT for tests (same normalization convention).
+std::vector<Complex> dftReference(std::span<const Complex> a, bool inverse);
+
+}  // namespace anton::fft

@@ -1,0 +1,47 @@
+#include "fft/grid3d.hpp"
+
+namespace anton::fft {
+
+void fft3d(Grid3D& g, bool inverse) {
+  const int nx = g.nx(), ny = g.ny(), nz = g.nz();
+  std::vector<Complex> line;
+
+  auto pass = [&](int dim) {
+    int n = dim == 0 ? nx : dim == 1 ? ny : nz;
+    line.resize(std::size_t(n));
+    if (dim == 0) {
+      for (int z = 0; z < nz; ++z)
+        for (int y = 0; y < ny; ++y) {
+          for (int x = 0; x < nx; ++x) line[std::size_t(x)] = g.at(x, y, z);
+          fft1d(line, inverse);
+          for (int x = 0; x < nx; ++x) g.at(x, y, z) = line[std::size_t(x)];
+        }
+    } else if (dim == 1) {
+      for (int z = 0; z < nz; ++z)
+        for (int x = 0; x < nx; ++x) {
+          for (int y = 0; y < ny; ++y) line[std::size_t(y)] = g.at(x, y, z);
+          fft1d(line, inverse);
+          for (int y = 0; y < ny; ++y) g.at(x, y, z) = line[std::size_t(y)];
+        }
+    } else {
+      for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x) {
+          for (int z = 0; z < nz; ++z) line[std::size_t(z)] = g.at(x, y, z);
+          fft1d(line, inverse);
+          for (int z = 0; z < nz; ++z) g.at(x, y, z) = line[std::size_t(z)];
+        }
+    }
+  };
+
+  if (!inverse) {
+    pass(0);
+    pass(1);
+    pass(2);
+  } else {
+    pass(2);
+    pass(1);
+    pass(0);
+  }
+}
+
+}  // namespace anton::fft

@@ -1,0 +1,47 @@
+// Dense 3D complex grid with host-side 3D FFT — the reference transform the
+// distributed implementation must match, and the convolution engine of the
+// host-side MD long-range solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+
+namespace anton::fft {
+
+class Grid3D {
+ public:
+  Grid3D() = default;
+  Grid3D(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(std::size_t(nx) * std::size_t(ny) * std::size_t(nz)) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  std::size_t index(int x, int y, int z) const {
+    return std::size_t(x) + std::size_t(nx_) * (std::size_t(y) + std::size_t(ny_) * std::size_t(z));
+  }
+  Complex& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  const Complex& at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+
+  std::vector<Complex>& data() { return data_; }
+  const std::vector<Complex>& data() const { return data_; }
+
+  void fill(Complex v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// In-place 3D FFT: 1D transforms along x, then y, then z (reverse order for
+/// the inverse), matching the distributed dimension-ordered algorithm.
+void fft3d(Grid3D& g, bool inverse);
+
+}  // namespace anton::fft

@@ -1,0 +1,1041 @@
+#include "md/anton_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+#include "sim/gate.hpp"
+#include "sim/rng.hpp"
+
+#include <functional>
+
+namespace anton::md {
+
+namespace {
+
+/// 32-byte on-wire atom record: one atom per packet (SC10 §IV-B2).
+struct PosRecord {
+  std::int32_t gid = -1;
+  std::int32_t homeAndSlot = 0;  // homeNode * 65536 + slot
+  double x = 0, y = 0, z = 0;
+
+  int homeNode() const { return homeAndSlot >> 16; }
+  int slot() const { return homeAndSlot & 0xFFFF; }
+};
+static_assert(sizeof(PosRecord) == 32);
+
+/// Migration record: full dynamic atom state.
+struct MigRecord {
+  std::int32_t gid = 0;
+  std::int32_t pad = 0;
+  double px, py, pz;
+  double vx, vy, vz;
+};
+static_assert(sizeof(MigRecord) == 56);
+
+/// Half-shell offsets: the 13 lexicographically positive neighbors.
+bool lexPositive(int dx, int dy, int dz) {
+  if (dz != 0) return dz > 0;
+  if (dy != 0) return dy > 0;
+  return dx > 0;
+}
+
+}  // namespace
+
+AntonMdApp::AntonMdApp(net::Machine& machine, MDSystem system, AntonMdConfig cfg)
+    : machine_(machine), cfg_(cfg), shape_(machine.shape()), box_(system.box) {
+  nodeBox_ = {box_.x / shape_.nx, box_.y / shape_.ny, box_.z / shape_.nz};
+  margin_ = nodeBox_ * cfg_.homeBoxMarginFrac;
+
+  for (int d = 0; d < 3; ++d) {
+    double bd = d == 0 ? nodeBox_.x : d == 1 ? nodeBox_.y : nodeBox_.z;
+    double md = d == 0 ? margin_.x : d == 1 ? margin_.y : margin_.z;
+    if (cfg_.force.cutoff + 2.0 * md > bd)
+      throw std::invalid_argument(
+          "cutoff + relaxed-box margins must fit within one home box "
+          "(half-shell import would miss pairs)");
+    int extent = shape_.extent(d);
+    if (extent == 2)
+      throw std::invalid_argument(
+          "torus extents of exactly 2 break the half-shell import rule; "
+          "use 1 or >= 3");
+  }
+
+  charges_ = system.charges;
+  masses_ = system.masses;
+  ljStrength_ = system.ljStrength;
+  topology_.box = system.box;
+  topology_.bonds = system.bonds;
+  topology_.angles = system.angles;
+  topology_.dihedrals = system.dihedrals;
+  topology_.charges = charges_;
+  topology_.masses = masses_;
+  topology_.ljStrength = ljStrength_;
+
+  ewald_ = std::make_unique<MeshEwald>(box_, cfg_.ewald);
+
+  nodes_.resize(std::size_t(machine_.numNodes()));
+  partitionAtoms(system);
+  buildImportGroups();
+  buildBondProgram();
+
+  patterns_ = std::make_unique<core::PatternAllocator>(machine_, 0, 207);
+  installPatterns();
+  migrationSync_ = std::make_unique<core::NeighborhoodSync>(
+      machine_, *patterns_, cfg_.ctrFlush, net::kSlice0);
+  allReduce_ =
+      std::make_unique<core::DimOrderedAllReduce>(machine_, cfg_.allReduce);
+  cfg_.fftConfig.fftSlice = net::kSlice1;
+  fft_ = std::make_unique<fft::DistributedFft3D>(
+      machine_, cfg_.ewald.grid, cfg_.ewald.grid, cfg_.ewald.grid,
+      cfg_.fftConfig);
+  for (int d = 0; d < 3; ++d) {
+    if (fft_->blockExtent(d) < 4)
+      throw std::invalid_argument(
+          "FFT blocks must span >= 4 grid points per dimension (order-4 "
+          "spline halos)");
+  }
+
+  computeInitialForces();
+}
+
+// --- geometry ---------------------------------------------------------------
+
+int AntonMdApp::ownerOf(const Vec3& posIn) const {
+  MDSystem tmp;
+  tmp.box = box_;
+  Vec3 p = tmp.wrap(posIn);
+  int x = std::min(shape_.nx - 1, int(p.x / nodeBox_.x));
+  int y = std::min(shape_.ny - 1, int(p.y / nodeBox_.y));
+  int z = std::min(shape_.nz - 1, int(p.z / nodeBox_.z));
+  return util::torusIndex({x, y, z}, shape_);
+}
+
+Vec3 AntonMdApp::nodeBoxOrigin(int node) const {
+  util::TorusCoord c = util::torusCoordOf(node, shape_);
+  return {c.x * nodeBox_.x, c.y * nodeBox_.y, c.z * nodeBox_.z};
+}
+
+bool AntonMdApp::insideRelaxedBox(int node, const Vec3& pos) const {
+  Vec3 o = nodeBoxOrigin(node);
+  auto inside1 = [](double p, double lo, double hi, double period) {
+    // Interval test on a circle.
+    double d = p - lo;
+    d -= period * std::floor(d / period);
+    return d < (hi - lo);
+  };
+  return inside1(pos.x, o.x - margin_.x, o.x + nodeBox_.x + margin_.x, box_.x) &&
+         inside1(pos.y, o.y - margin_.y, o.y + nodeBox_.y + margin_.y, box_.y) &&
+         inside1(pos.z, o.z - margin_.z, o.z + nodeBox_.z + margin_.z, box_.z);
+}
+
+// --- setup ------------------------------------------------------------------
+
+void AntonMdApp::partitionAtoms(const MDSystem& sys) {
+  for (int i = 0; i < sys.numAtoms(); ++i) {
+    int owner = ownerOf(sys.positions[std::size_t(i)]);
+    nodes_[std::size_t(owner)].atoms.push_back(
+        {i, sys.positions[std::size_t(i)], sys.velocities[std::size_t(i)]});
+  }
+  int maxAtoms = 0;
+  for (auto& n : nodes_) {
+    std::sort(n.atoms.begin(), n.atoms.end(),
+              [](const AtomRecord& a, const AtomRecord& b) { return a.gid < b.gid; });
+    n.forces.assign(n.atoms.size(), Vec3{});
+    maxAtoms = std::max(maxAtoms, int(n.atoms.size()));
+  }
+  // Fixed packet counts are per source node: each node's count accommodates
+  // its own worst-case density fluctuation (§IV-B1), and receivers preload
+  // the per-source sums.
+  posFixed_.resize(nodes_.size());
+  fixedPosPackets_ = 0;
+  const double avg = double(sys.numAtoms()) / machine_.numNodes();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Cover both this node's initial population and the machine average:
+    // migration can fill an initially sparse box up to the average regime.
+    double basis = std::max(double(nodes_[i].atoms.size()), avg);
+    posFixed_[i] = std::max(4, int(std::ceil(basis * cfg_.packetHeadroom)));
+    fixedPosPackets_ = std::max(fixedPosPackets_, posFixed_[i]);
+  }
+  (void)maxAtoms;
+}
+
+void AntonMdApp::buildImportGroups() {
+  const int n = machine_.numNodes();
+  upperShell_.assign(std::size_t(n), {});
+  lowerShell_.assign(std::size_t(n), {});
+  for (int i = 0; i < n; ++i) {
+    util::TorusCoord c = util::torusCoordOf(i, shape_);
+    std::set<int> up, down;
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          util::TorusCoord t{util::wrap(c.x + dx, shape_.nx),
+                             util::wrap(c.y + dy, shape_.ny),
+                             util::wrap(c.z + dz, shape_.nz)};
+          int idx = util::torusIndex(t, shape_);
+          if (idx == i) continue;
+          if (lexPositive(dx, dy, dz)) {
+            up.insert(idx);
+          } else {
+            down.insert(idx);
+          }
+        }
+    // In tiny tori an offset pair can wrap onto the same node from both
+    // sides; keep each neighbor in exactly one shell (upper wins).
+    for (int d : down) {
+      if (!up.contains(d)) lowerShell_[std::size_t(i)].push_back(d);
+    }
+    upperShell_[std::size_t(i)] = {up.begin(), up.end()};
+  }
+}
+
+std::uint32_t AntonMdApp::posSlotAddr(int srcNode, int slot) const {
+  // Receive regions keyed by srcNode modulo a machine-wide residue R that
+  // is collision-free within every import/halo group (multicast packets
+  // carry a single address, so the region must be a function of the source
+  // alone). R is computed in installPatterns() and stored in posRegionMod_.
+  return std::uint32_t(srcNode % posRegionMod_) *
+             std::uint32_t(fixedPosPackets_) * 32u +
+         std::uint32_t(slot) * 32u;
+}
+
+void AntonMdApp::installPatterns() {
+  // Residue R: smallest modulus with no collision among the 27-neighborhood
+  // sources of any receiver (the halo group is a superset of the HTIS
+  // import group).
+  posRegionMod_ = 1;
+  for (int r = 1; r <= machine_.numNodes(); ++r) {
+    bool ok = true;
+    for (int i = 0; i < machine_.numNodes() && ok; ++i) {
+      std::set<int> residues;
+      residues.insert(i % r);
+      for (int nb : core::torusNeighborhood26(shape_, i)) {
+        if (!residues.insert(nb % r).second) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      posRegionMod_ = r;
+      break;
+    }
+  }
+
+  // Check client memory budgets.
+  std::size_t posRegion =
+      std::size_t(posRegionMod_) * std::size_t(fixedPosPackets_) * 32;
+  if (posRegion > machine_.config().clientMemBytes)
+    throw std::invalid_argument("HTIS position regions exceed client memory");
+
+  const int n = machine_.numNodes();
+  posPattern_.resize(std::size_t(n));
+  potPattern_.resize(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<net::ClientAddr> posDests;
+    posDests.push_back({i, net::kHtis});
+    for (int u : upperShell_[std::size_t(i)]) posDests.push_back({u, net::kHtis});
+    posPattern_[std::size_t(i)] = patterns_->install(i, posDests);
+
+    std::vector<net::ClientAddr> potDests;
+    potDests.push_back({i, net::kSlice1});
+    for (int nb : core::torusNeighborhood26(shape_, i))
+      potDests.push_back({nb, net::kSlice1});
+    potPattern_[std::size_t(i)] = patterns_->install(i, potDests);
+  }
+}
+
+void AntonMdApp::buildBondProgram() {
+  const int n = machine_.numNodes();
+  termsOnNode_.assign(std::size_t(n), {});
+  bondAtomSlot_.assign(std::size_t(n), {});
+  atomTermNodes_.assign(charges_.size(), {});
+  for (int k = 0; k < 3; ++k)
+    bondNodeOfTerm_[k].assign(
+        k == 0   ? topology_.bonds.size()
+        : k == 1 ? topology_.angles.size()
+                 : topology_.dihedrals.size(),
+        0);
+
+  // Current position of every atom (for placement decisions).
+  std::vector<Vec3> pos(charges_.size());
+  for (const NodeState& ns : nodes_)
+    for (const AtomRecord& a : ns.atoms) pos[std::size_t(a.gid)] = a.pos;
+
+  auto assign = [&](TermRef::Kind kind, int index, int firstAtom,
+                    std::initializer_list<int> atoms) {
+    int node = ownerOf(pos[std::size_t(firstAtom)]);
+    bondNodeOfTerm_[kind][std::size_t(index)] = node;
+    termsOnNode_[std::size_t(node)].push_back({kind, index});
+    for (int a : atoms) {
+      auto [it, inserted] = bondAtomSlot_[std::size_t(node)].try_emplace(
+          a, int(bondAtomSlot_[std::size_t(node)].size()));
+      if (inserted) atomTermNodes_[std::size_t(a)].push_back(node);
+    }
+  };
+  for (int i = 0; i < int(topology_.bonds.size()); ++i) {
+    const Bond& b = topology_.bonds[std::size_t(i)];
+    assign(TermRef::kBond, i, b.i, {b.i, b.j});
+  }
+  for (int i = 0; i < int(topology_.angles.size()); ++i) {
+    const Angle& a = topology_.angles[std::size_t(i)];
+    assign(TermRef::kAngle, i, a.j, {a.i, a.j, a.k});
+  }
+  for (int i = 0; i < int(topology_.dihedrals.size()); ++i) {
+    const Dihedral& d = topology_.dihedrals[std::size_t(i)];
+    assign(TermRef::kDihedral, i, d.j, {d.i, d.j, d.k, d.l});
+  }
+  for (auto& list : atomTermNodes_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+void AntonMdApp::regenerateBondProgram() {
+  buildBondProgram();
+}
+
+void AntonMdApp::syntheticDiffusion(double swapFraction,
+                                    std::uint64_t seed) {
+  // Lazily derive the solvent molecules from the bond topology (connected
+  // components of at most 4 atoms; the protein chain is one big component).
+  if (solventMolecules_.empty()) {
+    std::vector<int> parent(charges_.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = int(i);
+    std::function<int(int)> find = [&](int x) {
+      while (parent[std::size_t(x)] != x) {
+        parent[std::size_t(x)] = parent[std::size_t(parent[std::size_t(x)])];
+        x = parent[std::size_t(x)];
+      }
+      return x;
+    };
+    for (const Bond& b : topology_.bonds) parent[std::size_t(find(b.i))] = find(b.j);
+    std::map<int, std::vector<int>> comps;
+    for (std::size_t i = 0; i < parent.size(); ++i)
+      comps[find(int(i))].push_back(int(i));
+    for (auto& [root, atoms] : comps)
+      if (atoms.size() <= 4) solventMolecules_.push_back(atoms);
+  }
+
+  // Current position of every atom.
+  std::vector<Vec3> pos(charges_.size());
+  std::vector<Vec3> vel(charges_.size());
+  for (const NodeState& ns : nodes_) {
+    for (const AtomRecord& a : ns.atoms) {
+      pos[std::size_t(a.gid)] = a.pos;
+      vel[std::size_t(a.gid)] = a.vel;
+    }
+  }
+
+  MDSystem tmp;
+  tmp.box = box_;
+  // Anchor on the first (center) atom: swapping translates molecule A's
+  // center exactly onto B's center position and vice versa, so the
+  // center-center liquid packing is preserved and no LJ cores overlap.
+  auto anchor = [&](const std::vector<int>& mol) {
+    return pos[std::size_t(mol[0])];
+  };
+
+  sim::Rng rng(seed);
+  const std::size_t m = solventMolecules_.size();
+  const double rmax = 0.6 * std::min({box_.x, box_.y, box_.z});
+  std::size_t swaps = std::size_t(swapFraction * double(m) / 2.0);
+  for (std::size_t s = 0; s < swaps; ++s) {
+    const auto& a = solventMolecules_[rng.below(m)];
+    Vec3 ca = anchor(a);
+    // Partner: a nearby molecule (localized diffusion).
+    const std::vector<int>* b = nullptr;
+    for (int tries = 0; tries < 64 && b == nullptr; ++tries) {
+      const auto& cand = solventMolecules_[rng.below(m)];
+      if (&cand == &a) continue;
+      if (tmp.minImage(ca, anchor(cand)).norm() < rmax) b = &cand;
+    }
+    if (b == nullptr) continue;
+    Vec3 delta = tmp.minImage(ca, anchor(*b));
+    for (int g : a) pos[std::size_t(g)] = tmp.wrap(pos[std::size_t(g)] + delta);
+    for (int g : *b) pos[std::size_t(g)] = tmp.wrap(pos[std::size_t(g)] - delta);
+  }
+
+  // Fast-forward the home-box reassignment migration would have done.
+  for (NodeState& ns : nodes_) ns.atoms.clear();
+  for (std::size_t g = 0; g < pos.size(); ++g) {
+    nodes_[std::size_t(ownerOf(pos[g]))].atoms.push_back(
+        {int(g), pos[g], vel[g]});
+  }
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    NodeState& ns = nodes_[n];
+    std::sort(ns.atoms.begin(), ns.atoms.end(),
+              [](const AtomRecord& a, const AtomRecord& b) { return a.gid < b.gid; });
+    if (int(ns.atoms.size()) > posFixed_[n])
+      throw std::runtime_error(
+          "synthetic diffusion overflowed the fixed packet provisioning "
+          "(raise packetHeadroom)");
+    ns.forces.assign(ns.atoms.size(), Vec3{});
+    if (!lrForce_.empty()) lrForce_[n].assign(ns.atoms.size(), Vec3{});
+  }
+  computeInitialForces();
+}
+
+double AntonMdApp::averageBondHops() const {
+  std::uint64_t hops = 0, count = 0;
+  for (int node = 0; node < machine_.numNodes(); ++node) {
+    for (const AtomRecord& a : nodes_[std::size_t(node)].atoms) {
+      for (int t : atomTermNodes_[std::size_t(a.gid)]) {
+        hops += std::uint64_t(machine_.hops(node, t));
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : double(hops) / double(count);
+}
+
+void AntonMdApp::computeInitialForces() {
+  // Host-side bootstrap: the very first F(t=0), computed with the same
+  // kernels the distributed step uses (the paper's machine loads a prepared
+  // checkpoint the same way).
+  MDSystem sys = gatherSystem();
+  std::vector<Vec3> f(std::size_t(sys.numAtoms()));
+  bondedForces(sys, f);
+  rangeLimitedForces(sys, cfg_.force, f);
+  ewald_->energyAndForces(sys, f);
+  for (int node = 0; node < machine_.numNodes(); ++node) {
+    NodeState& ns = nodes_[std::size_t(node)];
+    for (std::size_t i = 0; i < ns.atoms.size(); ++i)
+      ns.forces[i] = f[std::size_t(ns.atoms[i].gid)];
+  }
+}
+
+MDSystem AntonMdApp::gatherSystem() const {
+  MDSystem sys;
+  sys.box = box_;
+  sys.bonds = topology_.bonds;
+  sys.angles = topology_.angles;
+  sys.dihedrals = topology_.dihedrals;
+  sys.charges = charges_;
+  sys.masses = masses_;
+  sys.ljStrength = ljStrength_;
+  sys.positions.resize(charges_.size());
+  sys.velocities.resize(charges_.size());
+  for (const NodeState& ns : nodes_) {
+    for (const AtomRecord& a : ns.atoms) {
+      sys.positions[std::size_t(a.gid)] = a.pos;
+      sys.velocities[std::size_t(a.gid)] = a.vel;
+    }
+  }
+  return sys;
+}
+
+// --- per-step choreography ---------------------------------------------------
+
+void AntonMdApp::zeroForceSlots(int node) {
+  std::vector<std::byte> zeros(std::size_t(fixedPosPackets_) * 12, std::byte{0});
+  machine_.accum(node, 0).hostWrite(0, zeros.data(), zeros.size());
+}
+
+sim::Task AntonMdApp::sendPositions(int node) {
+  NodeState& ns = nodes_[std::size_t(node)];
+  net::ProcessingSlice& slice0 = machine_.slice(node, 0);
+
+  // (a) Fixed-count fine-grained multicast to the import-region HTIS units.
+  for (int slot = 0; slot < posFixed_[std::size_t(node)]; ++slot) {
+    PosRecord rec;
+    if (slot < int(ns.atoms.size())) {
+      const AtomRecord& a = ns.atoms[std::size_t(slot)];
+      rec.gid = a.gid;
+      rec.homeAndSlot = node * 65536 + slot;
+      rec.x = a.pos.x;
+      rec.y = a.pos.y;
+      rec.z = a.pos.z;
+    } else {
+      rec.gid = -1;  // padding to the fixed worst-case count
+      rec.homeAndSlot = node * 65536 + slot;
+    }
+    net::NetworkClient::SendArgs args;
+    args.multicastPattern = posPattern_[std::size_t(node)];
+    args.counterId = cfg_.ctrPos;
+    args.address = posSlotAddr(node, slot);
+    args.payload = net::makePayload(&rec, sizeof rec);
+    co_await slice0.send(args);
+  }
+
+  // (b) Bond-program positions: unicast counted writes, exact counts.
+  for (std::size_t i = 0; i < ns.atoms.size(); ++i) {
+    const AtomRecord& a = ns.atoms[i];
+    for (int t : atomTermNodes_[std::size_t(a.gid)]) {
+      PosRecord rec;
+      rec.gid = a.gid;
+      rec.homeAndSlot = node * 65536 + int(i);
+      rec.x = a.pos.x;
+      rec.y = a.pos.y;
+      rec.z = a.pos.z;
+      net::NetworkClient::SendArgs args;
+      args.dst = {t, net::kSlice0};
+      args.counterId = cfg_.ctrBondPos;
+      args.address = 0x8000u + std::uint32_t(bondAtomSlot_[std::size_t(t)]
+                                                 .at(a.gid)) *
+                                   32u;
+      args.payload = net::makePayload(&rec, sizeof rec);
+      co_await slice0.send(args);
+    }
+  }
+}
+
+sim::Task AntonMdApp::htisPhase(int node) {
+  NodeState& ns = nodes_[std::size_t(node)];
+  net::Htis& htis = machine_.htis(node);
+  sim::Time phaseStart = machine_.sim().now();
+
+  // Wait for the fixed position-packet count from every import source.
+  std::uint64_t perRound = std::uint64_t(posFixed_[std::size_t(node)]);
+  for (int s : lowerShell_[std::size_t(node)])
+    perRound += std::uint64_t(posFixed_[std::size_t(s)]);
+  ns.posRounds += 1;
+  co_await htis.waitCounter(cfg_.ctrPos, ns.posRounds * perRound);
+
+  // Decode the arrived records per source.
+  std::vector<int> sources;
+  sources.push_back(node);
+  for (int s : lowerShell_[std::size_t(node)]) sources.push_back(s);
+  struct Import {
+    std::vector<PosRecord> recs;  // slot-indexed, padding kept
+  };
+  std::vector<Import> imports(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    imports[s].recs.resize(std::size_t(posFixed_[std::size_t(sources[s])]));
+    for (int slot = 0; slot < posFixed_[std::size_t(sources[s])]; ++slot) {
+      imports[s].recs[std::size_t(slot)] =
+          htis.read<PosRecord>(posSlotAddr(sources[s], slot));
+    }
+  }
+
+  // Pair computation (half-shell rule): home atoms against home (i<j by
+  // gid) and against every imported atom. Forces per (source, slot).
+  std::vector<std::vector<Vec3>> forceOut(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s)
+    forceOut[s].assign(std::size_t(posFixed_[std::size_t(sources[s])]), Vec3{});
+  std::uint64_t pairs = 0;
+
+  const std::vector<PosRecord>& home = imports[0].recs;
+  MDSystem tmp;
+  tmp.box = box_;
+  for (int i = 0; i < int(home.size()); ++i) {
+    const PosRecord& a = home[std::size_t(i)];
+    if (a.gid < 0) continue;
+    Vec3 pa{a.x, a.y, a.z};
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      for (int j = (s == 0 ? i + 1 : 0); j < int(imports[s].recs.size()); ++j) {
+        const PosRecord& b = imports[s].recs[std::size_t(j)];
+        if (b.gid < 0) continue;
+        Vec3 d = tmp.minImage(pa, Vec3{b.x, b.y, b.z});
+        if (d.norm2() >= cfg_.force.cutoff * cfg_.force.cutoff) continue;
+        PairForce pf = rangeLimitedPair(
+            d, charges_[std::size_t(a.gid)], charges_[std::size_t(b.gid)],
+            cfg_.force,
+            (ljStrength_.empty() ? 1.0
+                                 : ljStrength_[std::size_t(a.gid)] *
+                                       ljStrength_[std::size_t(b.gid)]));
+        forceOut[0][std::size_t(i)] += pf.onI;
+        forceOut[s][std::size_t(j)] -= pf.onI;
+        ++pairs;
+      }
+    }
+  }
+
+  // Pipelined compute: charge the HTIS for the pair work.
+  co_await machine_.sim().delay(sim::ns(cfg_.htisPairNs * double(pairs)));
+
+  // Stream the fixed-count force returns (zero packets for padding slots)
+  // to the home accumulation memories. The HTIS pipelines packet creation,
+  // so packets are posted on a streaming cadence rather than co_awaited.
+  sim::Time spacing = sim::ns(cfg_.htisStreamNs);
+  int k = 0;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    for (int slot = 0; slot < posFixed_[std::size_t(sources[s])]; ++slot, ++k) {
+      std::int32_t q[3] = {quantize(forceOut[s][std::size_t(slot)].x),
+                           quantize(forceOut[s][std::size_t(slot)].y),
+                           quantize(forceOut[s][std::size_t(slot)].z)};
+      net::NetworkClient::SendArgs args;
+      args.type = net::PacketType::kAccum;
+      args.dst = {sources[s], net::kAccum0};
+      args.counterId = cfg_.ctrForce;
+      args.address = forceSlotAddr(slot);
+      args.payload = net::makePayload(q, sizeof q);
+      machine_.sim().after(spacing * k, [&htis, args] { htis.post(args); });
+    }
+  }
+  co_await machine_.sim().delay(spacing * k);
+  current_.htisUs = std::max(
+      current_.htisUs, sim::toUs(machine_.sim().now() - phaseStart));
+  if (auto* tr = machine_.trace())
+    tr->record("HTIS", "range-limited", phaseStart, machine_.sim().now());
+}
+
+sim::Task AntonMdApp::bondedPhase(int node) {
+  NodeState& ns = nodes_[std::size_t(node)];
+  net::ProcessingSlice& slice0 = machine_.slice(node, 0);
+  const auto& slots = bondAtomSlot_[std::size_t(node)];
+  sim::Time phaseStart = machine_.sim().now();
+
+  if (!slots.empty()) {
+    ns.bondPosExpected += slots.size();
+    co_await slice0.waitCounter(cfg_.ctrBondPos, ns.bondPosExpected);
+  }
+
+  // Read the gathered positions and evaluate the assigned terms on the
+  // geometry cores.
+  std::map<int, PosRecord> atomRec;
+  for (const auto& [gid, slot] : slots) {
+    atomRec[gid] = slice0.read<PosRecord>(0x8000u + std::uint32_t(slot) * 32u);
+  }
+  std::map<int, Vec3> force;  // per gid
+  double gcNs = 0.0;
+
+  MDSystem tmp;
+  tmp.box = box_;
+  auto posOf = [&](int gid) {
+    const PosRecord& r = atomRec.at(gid);
+    return Vec3{r.x, r.y, r.z};
+  };
+  for (const TermRef& t : termsOnNode_[std::size_t(node)]) {
+    if (t.kind == TermRef::kBond) {
+      const Bond& b = topology_.bonds[std::size_t(t.index)];
+      tmp.positions = {posOf(b.i), posOf(b.j)};
+      std::vector<Vec3> f(2);
+      bondForce(tmp, Bond{0, 1, b.r0, b.k}, f);
+      force[b.i] += f[0];
+      force[b.j] += f[1];
+      gcNs += cfg_.gcBondNs;
+    } else if (t.kind == TermRef::kAngle) {
+      const Angle& a = topology_.angles[std::size_t(t.index)];
+      tmp.positions = {posOf(a.i), posOf(a.j), posOf(a.k)};
+      std::vector<Vec3> f(3);
+      angleForce(tmp, Angle{0, 1, 2, a.theta0, a.kTheta}, f);
+      force[a.i] += f[0];
+      force[a.j] += f[1];
+      force[a.k] += f[2];
+      gcNs += cfg_.gcAngleNs;
+    } else {
+      const Dihedral& d = topology_.dihedrals[std::size_t(t.index)];
+      tmp.positions = {posOf(d.i), posOf(d.j), posOf(d.k), posOf(d.l)};
+      std::vector<Vec3> f(4);
+      dihedralForce(tmp, Dihedral{0, 1, 2, 3, d.kPhi, d.n, d.phi0}, f);
+      force[d.i] += f[0];
+      force[d.j] += f[1];
+      force[d.k] += f[2];
+      force[d.l] += f[3];
+      gcNs += cfg_.gcDihedralNs;
+    }
+  }
+  co_await machine_.sim().delay(sim::ns(gcNs));
+
+  // One aggregated fixed-point accumulation packet per (atom, this node).
+  for (const auto& [gid, f] : force) {
+    const PosRecord& r = atomRec.at(gid);
+    std::int32_t q[3] = {quantize(f.x), quantize(f.y), quantize(f.z)};
+    net::NetworkClient::SendArgs args;
+    args.type = net::PacketType::kAccum;
+    args.dst = {r.homeNode(), net::kAccum0};
+    args.counterId = cfg_.ctrForce;
+    args.address = forceSlotAddr(r.slot());
+    args.payload = net::makePayload(q, sizeof q);
+    co_await slice0.send(args);
+  }
+  current_.bondedUs = std::max(
+      current_.bondedUs, sim::toUs(machine_.sim().now() - phaseStart));
+  if (auto* tr = machine_.trace())
+    tr->record("GC", "bonded", phaseStart, machine_.sim().now());
+}
+
+sim::Task AntonMdApp::longRangePhase(int node) {
+  NodeState& ns = nodes_[std::size_t(node)];
+  net::ProcessingSlice& slice1 = machine_.slice(node, 1);
+  net::AccumulationMemory& gridMem = machine_.accum(node, 1);
+  const int K = cfg_.ewald.grid;
+  const int bsz[3] = {fft_->blockExtent(0), fft_->blockExtent(1),
+                      fft_->blockExtent(2)};
+  const std::size_t blockPts = fft_->blockSize();
+  const util::TorusCoord myCoord = util::torusCoordOf(node, shape_);
+
+  sim::Time phaseStart = machine_.sim().now();
+  const int parity = int(ns.gridRounds % 2);
+  const std::uint32_t gridBase =
+      std::uint32_t(parity) * std::uint32_t(blockPts) * 4u;
+
+  // --- charge spreading: dense fixed-count accumulation sends -------------
+  // Compute this node's contribution to each neighborhood block.
+  std::vector<int> targets;
+  targets.push_back(node);
+  for (int nb : core::torusNeighborhood26(shape_, node)) targets.push_back(nb);
+  std::map<int, std::vector<std::int32_t>> contrib;
+  for (int t : targets) contrib[t].assign(blockPts, 0);
+
+  MDSystem tmp;
+  tmp.box = box_;
+  for (const AtomRecord& a : ns.atoms) {
+    Vec3 p = tmp.wrap(a.pos);
+    SplineStencil sx = splineStencil(p.x / box_.x * K, K);
+    SplineStencil sy = splineStencil(p.y / box_.y * K, K);
+    SplineStencil sz = splineStencil(p.z / box_.z * K, K);
+    double q = charges_[std::size_t(a.gid)];
+    for (int ia = 0; ia < 4; ++ia)
+      for (int ib = 0; ib < 4; ++ib)
+        for (int ic = 0; ic < 4; ++ic) {
+          int gx = sx.points[std::size_t(ia)];
+          int gy = sy.points[std::size_t(ib)];
+          int gz = sz.points[std::size_t(ic)];
+          int owner = util::torusIndex(
+              {gx / bsz[0], gy / bsz[1], gz / bsz[2]}, shape_);
+          auto it = contrib.find(owner);
+          if (it == contrib.end())
+            throw std::logic_error("atom strayed beyond the spread halo");
+          std::size_t local =
+              std::size_t(gx % bsz[0]) +
+              std::size_t(bsz[0]) * (std::size_t(gy % bsz[1]) +
+                                     std::size_t(bsz[1]) * std::size_t(gz % bsz[2]));
+          it->second[local] += quantize(q * sx.w[std::size_t(ia)] *
+                                        sy.w[std::size_t(ib)] *
+                                        sz.w[std::size_t(ic)]);
+        }
+  }
+  co_await machine_.sim().delay(
+      sim::ns(cfg_.spreadAtomNs * double(ns.atoms.size())));
+
+  // Dense block sends (zero-padded): fixed packet counts per pair.
+  const std::size_t blockBytes = blockPts * 4;
+  const std::size_t chunk = net::kMaxPayloadBytes;
+  for (int t : targets) {
+    const std::vector<std::int32_t>& block = contrib[t];
+    for (std::size_t off = 0; off < blockBytes; off += chunk) {
+      std::size_t nbytes = std::min(chunk, blockBytes - off);
+      net::NetworkClient::SendArgs args;
+      args.type = net::PacketType::kAccum;
+      args.dst = {t, net::kAccum1};
+      args.counterId = cfg_.ctrGrid;
+      args.address = gridBase + std::uint32_t(off);
+      args.payload = net::makePayload(
+          reinterpret_cast<const std::byte*>(block.data()) + off, nbytes);
+      co_await slice1.send(args);
+    }
+  }
+
+  // --- gather the accumulated charge grid ---------------------------------
+  // The counter lives on the accumulation memory; polling it from the slice
+  // crosses the on-chip ring (higher poll latency, SC10 §III-B).
+  ns.gridRounds += 1;
+  co_await gridMem.waitCounter(cfg_.ctrGrid, gridExpected_ * ns.gridRounds);
+
+  std::vector<fft::Complex>& homeBlk = fft_->home(node);
+  for (std::size_t i = 0; i < blockPts; ++i) {
+    homeBlk[i] = {dequantize(gridMem.read<std::int32_t>(
+                      gridBase + std::uint32_t(i) * 4u)),
+                  0.0};
+  }
+  // Re-zero this parity copy for its next use two long-range rounds ahead.
+  {
+    std::vector<std::byte> zeros(blockBytes, std::byte{0});
+    gridMem.hostWrite(gridBase, zeros.data(), zeros.size());
+  }
+
+  // --- FFT -> influence multiply -> inverse FFT ----------------------------
+  sim::Time fftStart = machine_.sim().now();
+  co_await fft_->run(node, false);
+  const double k3 = double(K) * double(K) * double(K);
+  for (std::size_t i = 0; i < blockPts; ++i) {
+    auto [m1, m2, m3] = fft_->globalCoord(node, i);
+    homeBlk[i] *= ewald_->influence(m1, m2, m3) * k3;
+  }
+  co_await fft_->run(node, true);
+  current_.fftUs =
+      std::max(current_.fftUs, sim::toUs(machine_.sim().now() - fftStart));
+
+  // --- potential halo: multicast my block to the 26-neighborhood ----------
+  const int potParity = int(ns.potRounds % 2);
+  const std::size_t potBlockBytes = blockPts * 8;  // doubles
+  const std::uint32_t potRegion =
+      std::uint32_t(posRegionMod_) * std::uint32_t(potBlockBytes);
+  const std::uint32_t potBase = std::uint32_t(potParity) * potRegion;
+  std::vector<double> phi(blockPts);
+  for (std::size_t i = 0; i < blockPts; ++i) phi[i] = homeBlk[i].real();
+  for (std::size_t off = 0; off < potBlockBytes; off += chunk) {
+    std::size_t nbytes = std::min(chunk, potBlockBytes - off);
+    net::NetworkClient::SendArgs args;
+    args.multicastPattern = potPattern_[std::size_t(node)];
+    args.counterId = cfg_.ctrPot;
+    args.address = potBase +
+                   std::uint32_t(node % posRegionMod_) *
+                       std::uint32_t(potBlockBytes) +
+                   std::uint32_t(off);
+    args.payload = net::makePayload(
+        reinterpret_cast<const std::byte*>(phi.data()) + off, nbytes);
+    co_await slice1.send(args);
+  }
+
+  const std::uint64_t potPacketsPerBlock = (potBlockBytes + chunk - 1) / chunk;
+  ns.potRounds += 1;
+  co_await slice1.waitCounter(
+      cfg_.ctrPot,
+      ns.potRounds * std::uint64_t(targets.size()) * potPacketsPerBlock);
+
+  // --- force interpolation -------------------------------------------------
+  // Read phi at arbitrary stencil points from the assembled halo regions.
+  auto phiAt = [&](int gx, int gy, int gz) {
+    int ox = gx / bsz[0], oy = gy / bsz[1], oz = gz / bsz[2];
+    int owner = util::torusIndex({ox, oy, oz}, shape_);
+    std::size_t local =
+        std::size_t(gx % bsz[0]) +
+        std::size_t(bsz[0]) * (std::size_t(gy % bsz[1]) +
+                               std::size_t(bsz[1]) * std::size_t(gz % bsz[2]));
+    std::uint32_t addr = potBase +
+                         std::uint32_t(owner % posRegionMod_) *
+                             std::uint32_t(potBlockBytes) +
+                         std::uint32_t(local) * 8u;
+    return slice1.read<double>(addr);
+  };
+  (void)myCoord;
+
+  for (std::size_t i = 0; i < ns.atoms.size(); ++i) {
+    const AtomRecord& a = ns.atoms[i];
+    Vec3 p = tmp.wrap(a.pos);
+    SplineStencil sx = splineStencil(p.x / box_.x * K, K);
+    SplineStencil sy = splineStencil(p.y / box_.y * K, K);
+    SplineStencil sz = splineStencil(p.z / box_.z * K, K);
+    double q = charges_[std::size_t(a.gid)];
+    Vec3 grad;
+    for (int ia = 0; ia < 4; ++ia)
+      for (int ib = 0; ib < 4; ++ib)
+        for (int ic = 0; ic < 4; ++ic) {
+          double v = phiAt(sx.points[std::size_t(ia)],
+                           sy.points[std::size_t(ib)],
+                           sz.points[std::size_t(ic)]);
+          grad.x += sx.dw[std::size_t(ia)] * sy.w[std::size_t(ib)] *
+                    sz.w[std::size_t(ic)] * v;
+          grad.y += sx.w[std::size_t(ia)] * sy.dw[std::size_t(ib)] *
+                    sz.w[std::size_t(ic)] * v;
+          grad.z += sx.w[std::size_t(ia)] * sy.w[std::size_t(ib)] *
+                    sz.dw[std::size_t(ic)] * v;
+        }
+    Vec3 f = -q * Vec3{grad.x * K / box_.x, grad.y * K / box_.y,
+                       grad.z * K / box_.z};
+    lrForce_[std::size_t(node)][i] = f;
+  }
+  co_await machine_.sim().delay(
+      sim::ns(cfg_.interpAtomNs * double(ns.atoms.size())));
+
+  // Fixed-count self accumulation of the interpolated forces.
+  for (int slot = 0; slot < posFixed_[std::size_t(node)]; ++slot) {
+    Vec3 f = slot < int(ns.atoms.size())
+                 ? lrForce_[std::size_t(node)][std::size_t(slot)]
+                 : Vec3{};
+    std::int32_t q[3] = {quantize(f.x), quantize(f.y), quantize(f.z)};
+    net::NetworkClient::SendArgs args;
+    args.type = net::PacketType::kAccum;
+    args.dst = {node, net::kAccum0};
+    args.counterId = cfg_.ctrForce;
+    args.address = forceSlotAddr(slot);
+    args.payload = net::makePayload(q, sizeof q);
+    co_await slice1.send(args);
+  }
+  current_.lrUs = std::max(
+      current_.lrUs, sim::toUs(machine_.sim().now() - phaseStart));
+  if (auto* tr = machine_.trace())
+    tr->record("FFT/LR", "fft-convolution", phaseStart, machine_.sim().now());
+}
+
+sim::Task AntonMdApp::migrationPhase(int node) {
+  NodeState& ns = nodes_[std::size_t(node)];
+  net::ProcessingSlice& slice0 = machine_.slice(node, 0);
+  sim::Time migStart = machine_.sim().now();
+
+  // Outbound: atoms that left the relaxed home box go to the FIFO of the
+  // new owner (stochastic: no counted writes possible, SC10 §IV-B5).
+  MDSystem tmp;
+  tmp.box = box_;
+  std::vector<AtomRecord> keep;
+  int sent = 0;
+  for (const AtomRecord& a : ns.atoms) {
+    if (insideRelaxedBox(node, a.pos)) {
+      keep.push_back(a);
+      continue;
+    }
+    int owner = ownerOf(a.pos);
+    if (owner == node) {  // wrapped back into our own box
+      keep.push_back(a);
+      continue;
+    }
+    MigRecord rec{a.gid, 0, a.pos.x, a.pos.y, a.pos.z,
+                  a.vel.x, a.vel.y, a.vel.z};
+    net::NetworkClient::SendArgs args;
+    args.type = net::PacketType::kFifo;
+    args.dst = {owner, net::kSlice0};
+    args.inOrder = true;
+    args.payload = net::makePayload(&rec, sizeof rec);
+    co_await slice0.send(args);
+    ++sent;
+  }
+  ns.atoms = std::move(keep);
+  migratedTotal_ += std::uint64_t(sent);
+
+  // Flush: in-order counted write to all 26 neighbors, then wait for all
+  // neighbors' flushes and drain the FIFO.
+  co_await migrationSync_->signalAndCharge(node);
+  ns.flushRounds += 1;
+  co_await migrationSync_->wait(node, ns.flushRounds);
+
+  int received = 0;
+  while (net::PacketPtr p = slice0.pollFifo()) {
+    MigRecord rec;
+    std::memcpy(&rec, p->payload->data(), sizeof rec);
+    ns.atoms.push_back({rec.gid, Vec3{rec.px, rec.py, rec.pz},
+                        Vec3{rec.vx, rec.vy, rec.vz}});
+    ++received;
+  }
+  std::sort(ns.atoms.begin(), ns.atoms.end(),
+            [](const AtomRecord& a, const AtomRecord& b) { return a.gid < b.gid; });
+  if (int(ns.atoms.size()) > posFixed_[std::size_t(node)])
+    throw std::runtime_error(
+        "home box overflow: atoms exceed the fixed packet provisioning "
+        "(raise packetHeadroom)");
+  ns.forces.assign(ns.atoms.size(), Vec3{});
+  lrForce_[std::size_t(node)].assign(ns.atoms.size(), Vec3{});
+
+  // Bookkeeping: slot tables and counted-write expectations are rebuilt.
+  co_await machine_.sim().delay(
+      sim::ns(cfg_.migrateAtomNs * double(sent + received) + 200.0));
+  current_.migrationUs = std::max(
+      current_.migrationUs, sim::toUs(machine_.sim().now() - migStart));
+}
+
+sim::Task AntonMdApp::stepTask(int node, int stepNumber) {
+  NodeState& ns = nodes_[std::size_t(node)];
+  const bool longRangeStep = stepNumber % cfg_.longRangeInterval == 0;
+  const bool thermoStep = cfg_.thermostatTau > 0.0 &&
+                          stepNumber % cfg_.thermostatInterval == 0;
+  const bool migrationStep = stepNumber % cfg_.migrationInterval == 0;
+
+  // 1. First half-kick + drift (slice integration work).
+  for (std::size_t i = 0; i < ns.atoms.size(); ++i) {
+    AtomRecord& a = ns.atoms[i];
+    a.vel += (0.5 * cfg_.dt / masses_[std::size_t(a.gid)]) * ns.forces[i];
+    MDSystem tmp;
+    tmp.box = box_;
+    a.pos = tmp.wrap(a.pos + cfg_.dt * a.vel);
+  }
+  co_await machine_.sim().delay(
+      sim::ns(cfg_.integrateAtomNs * double(ns.atoms.size())));
+
+  // 2. Prepare receive-side state, then push positions (their arrival is
+  // what triggers every force packet aimed at this node).
+  zeroForceSlots(node);
+  lrForce_[std::size_t(node)].assign(ns.atoms.size(), Vec3{});
+  sim::Time sendStart = machine_.sim().now();
+  co_await sendPositions(node);
+  current_.posSendUs = std::max(
+      current_.posSendUs, sim::toUs(machine_.sim().now() - sendStart));
+  if (auto* tr = machine_.trace())
+    tr->record("TS", "position-send", sendStart, machine_.sim().now());
+
+  // This step's force-packet expectation (counters are cumulative).
+  std::uint64_t expect =
+      std::uint64_t(1 + upperShell_[std::size_t(node)].size()) *
+      std::uint64_t(posFixed_[std::size_t(node)]);
+  for (const AtomRecord& a : ns.atoms)
+    expect += atomTermNodes_[std::size_t(a.gid)].size();
+  if (longRangeStep) expect += std::uint64_t(posFixed_[std::size_t(node)]);
+  ns.forceExpected += expect;
+
+  // 3. Concurrent hardware phases.
+  sim::Gate gate;
+  gate.spawn(machine_.sim(), htisPhase(node));
+  gate.spawn(machine_.sim(), bondedPhase(node));
+  if (longRangeStep) gate.spawn(machine_.sim(), longRangePhase(node));
+  co_await gate.wait();
+
+  // 4. Integration: wait for every expected force packet, read, half-kick.
+  net::AccumulationMemory& acc = machine_.accum(node, 0);
+  sim::Time waitStart = machine_.sim().now();
+  co_await acc.waitCounter(cfg_.ctrForce, ns.forceExpected);
+  current_.forceWaitUs = std::max(
+      current_.forceWaitUs, sim::toUs(machine_.sim().now() - waitStart));
+  if (auto* tr = machine_.trace())
+    tr->record("TS", "wait-forces", waitStart, machine_.sim().now());
+  for (std::size_t i = 0; i < ns.atoms.size(); ++i) {
+    std::uint32_t base = forceSlotAddr(int(i));
+    Vec3 f{dequantize(acc.read<std::int32_t>(base)),
+           dequantize(acc.read<std::int32_t>(base + 4)),
+           dequantize(acc.read<std::int32_t>(base + 8))};
+    ns.forces[i] = f;
+    ns.atoms[i].vel +=
+        (0.5 * cfg_.dt / masses_[std::size_t(ns.atoms[i].gid)]) * f;
+  }
+  co_await machine_.sim().delay(
+      sim::ns(cfg_.integrateAtomNs * double(ns.atoms.size())));
+
+  // 5. Thermostat: 32-byte dimension-ordered all-reduce (SC10 §IV-B4).
+  if (thermoStep) {
+    sim::Time tStart = machine_.sim().now();
+    double ke = 0.0;
+    for (const AtomRecord& a : ns.atoms)
+      ke += 0.5 * masses_[std::size_t(a.gid)] * a.vel.norm2();
+    std::vector<double> in(4);
+    in[0] = ke;
+    in[1] = double(ns.atoms.size());
+    std::vector<double> out;
+    co_await allReduce_->run(node, std::move(in), &out);
+    double totalAtoms = out[1];
+    double t = 2.0 * out[0] / (3.0 * totalAtoms);
+    if (t > 0.0) {
+      double lambda = std::sqrt(1.0 + cfg_.dt / cfg_.thermostatTau *
+                                          (cfg_.targetTemperature / t - 1.0));
+      for (AtomRecord& a : ns.atoms) a.vel *= lambda;
+    }
+    current_.thermostatUs = std::max(
+        current_.thermostatUs, sim::toUs(machine_.sim().now() - tStart));
+    if (auto* tr = machine_.trace())
+      tr->record("TS", "global-reduction", tStart, machine_.sim().now());
+  }
+
+  // 6. Migration phase (relaxed boxes make this infrequent, SC10 Fig. 12).
+  if (migrationStep) co_await migrationPhase(node);
+}
+
+void AntonMdApp::runSteps(int k) {
+  lrForce_.resize(std::size_t(machine_.numNodes()));
+  for (int node = 0; node < machine_.numNodes(); ++node)
+    lrForce_[std::size_t(node)].assign(nodes_[std::size_t(node)].atoms.size(),
+                                       Vec3{});
+  // Precompute the fixed grid-packet expectation (identical on every node:
+  // 27-neighborhood dense block sends).
+  const std::size_t blockBytes = fft_->blockSize() * 4;
+  const std::uint64_t packetsPerBlock =
+      (blockBytes + net::kMaxPayloadBytes - 1) / net::kMaxPayloadBytes;
+  gridExpected_ =
+      std::uint64_t(1 + core::torusNeighborhood26(shape_, 0).size()) *
+      packetsPerBlock;
+
+  for (int s = 0; s < k; ++s) {
+    const int stepNumber = stepsDone_ + 1;
+    current_ = StepTiming{};
+    current_.stepNumber = stepNumber;
+    current_.longRange = stepNumber % cfg_.longRangeInterval == 0;
+    current_.thermostat = cfg_.thermostatTau > 0.0 &&
+                          stepNumber % cfg_.thermostatInterval == 0;
+    current_.migration = stepNumber % cfg_.migrationInterval == 0;
+    lastMigrated_ = migratedTotal_;
+
+    sim::Time start = machine_.sim().now();
+    for (int node = 0; node < machine_.numNodes(); ++node)
+      machine_.sim().spawn(stepTask(node, stepNumber));
+    machine_.sim().run();
+
+    current_.totalUs = sim::toUs(machine_.sim().now() - start);
+    lastMigrated_ = migratedTotal_ - lastMigrated_;
+    timings_.push_back(current_);
+    ++stepsDone_;
+  }
+}
+
+}  // namespace anton::md

@@ -1,0 +1,267 @@
+// The MD dataflow mapped onto the Anton machine model (SC10 §IV, Fig. 2).
+//
+// One coroutine per node choreographs a time step exactly as the paper
+// describes:
+//   * atom positions multicast to the HTIS units of the half-shell import
+//     region as fine-grained (one atom per packet) counted remote writes,
+//     with the packet count fixed at the worst-case headroom so counters
+//     can be preloaded (§IV-B1) — short nodes pad with dummy packets;
+//   * bonded-term positions unicast to the statically assigned compute
+//     nodes of the *bond program* (§IV-B2), forces returned to the home
+//     accumulation memory as fixed-point accumulation packets;
+//   * charge spreading into remote accumulation memories, a distributed
+//     dimension-ordered FFT, influence multiply, inverse FFT, and a
+//     potential-halo multicast for force interpolation (§IV-B3);
+//   * a dimension-ordered multicast all-reduce for the thermostat (§IV-B4);
+//   * migration through the hardware message FIFOs, flushed by an in-order
+//     counted write to all 26 neighbors (§IV-B5), with relaxed home-box
+//     margins so migration can run every N steps.
+//
+// Real positions, forces and grid data travel in the simulated packets, so
+// the distributed trajectory tracks the ReferenceEngine within fixed-point
+// accumulation tolerance while the simulator provides the paper's timing
+// observables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/allreduce.hpp"
+#include "core/multicast.hpp"
+#include "core/neighborhood.hpp"
+#include "fft/distributed.hpp"
+#include "md/engine.hpp"
+#include "net/machine.hpp"
+#include "trace/activity.hpp"
+
+namespace anton::md {
+
+struct AntonMdConfig {
+  // Physics (must match the ReferenceEngine for equivalence tests).
+  ForceParams force;
+  EwaldParams ewald;
+  double dt = 0.002;
+  int longRangeInterval = 2;   ///< long-range work every other step (Table 3)
+  int thermostatInterval = 2;  ///< temperature control every other step
+  double thermostatTau = 0.0;  ///< 0 disables the thermostat
+  double targetTemperature = 1.0;
+
+  // Decomposition.
+  double homeBoxMarginFrac = 0.15;  ///< relaxed home boxes: margin as a
+                                    ///< fraction of the per-node box
+  int migrationInterval = 8;        ///< steps between migration phases
+
+  // Counted-remote-write provisioning.
+  double packetHeadroom = 1.35;  ///< fixed position-packet count = headroom *
+                                ///< average atoms per node (worst-case
+                                ///< density fluctuation, §IV-B1)
+
+  // Compute-time calibration (nanoseconds).
+  double htisPairNs = 0.9;        ///< per range-limited pair in the HTIS
+  double htisStreamNs = 2.0;      ///< per-packet streaming slot of the HTIS
+  double gcBondNs = 20.0;         ///< per bond term on the geometry cores
+  double gcAngleNs = 35.0;
+  double gcDihedralNs = 55.0;
+  double integrateAtomNs = 9.0;   ///< per-atom position/velocity update
+  double spreadAtomNs = 32.0;     ///< charge spreading per atom
+  double interpAtomNs = 36.0;     ///< force interpolation per atom
+  double migrateAtomNs = 120.0;   ///< per migrated atom bookkeeping
+
+  double fixedPointScale = double(1 << 20);  ///< force/charge quantization
+
+  // Resource layout (counter ids on the respective clients).
+  int ctrPos = 10;       ///< HTIS: position packets
+  int ctrForce = 11;     ///< accum 0: force packets
+  int ctrGrid = 12;      ///< accum 1: spread-charge packets
+  int ctrPot = 13;       ///< FFT slice: potential-halo packets
+  int ctrBondPos = 14;   ///< slice 0: bonded-term positions
+  int ctrFlush = 15;     ///< slice 0: migration flush
+  core::AllReduceConfig allReduce;  // counter 200, patterns 208+
+  /// Distributed FFT (counters 220+, slice 1). The MD pipeline batches grid
+  /// points into packets (pointsPerPacket = 0 selects the largest
+  /// contiguous batch); set 1 for the paper-faithful one-point-per-packet
+  /// pattern at the cost of more traffic.
+  fft::DistributedFftConfig fftConfig{.pointsPerPacket = 0};
+};
+
+/// Per-step critical-path timing (max over nodes), in microseconds.
+struct StepTiming {
+  int stepNumber = 0;
+  bool longRange = false;
+  bool thermostat = false;
+  bool migration = false;
+  double totalUs = 0.0;
+  double fftUs = 0.0;        ///< FFT-based convolution (long-range steps)
+  double thermostatUs = 0.0; ///< global reduction + rescale
+  double migrationUs = 0.0;  ///< FIFO traffic + flush + bookkeeping
+  // Phase breakdown (max over nodes):
+  double posSendUs = 0.0;    ///< position/bond-position injection window
+  double htisUs = 0.0;       ///< HTIS wait + pair compute + force streaming
+  double bondedUs = 0.0;     ///< bonded wait + geometry cores + returns
+  double lrUs = 0.0;         ///< full long-range phase
+  double forceWaitUs = 0.0;  ///< integration wait on the force counter
+};
+
+class AntonMdApp {
+ public:
+  AntonMdApp(net::Machine& machine, MDSystem system, AntonMdConfig cfg = {});
+
+  /// Run `k` time steps collectively (blocking host call: spawns one task
+  /// per node and drives the simulator until the steps complete).
+  void runSteps(int k);
+
+  /// Reconstruct the global system state from the distributed home boxes
+  /// (atoms ordered by global id).
+  MDSystem gatherSystem() const;
+
+  const std::vector<StepTiming>& stepTimings() const { return timings_; }
+  const StepTiming& lastStep() const { return timings_.back(); }
+  int stepsDone() const { return stepsDone_; }
+
+  /// Mean inter-node hop distance of bonded-term position traffic — the
+  /// quantity that degrades as atoms diffuse (SC10 Fig. 11).
+  double averageBondHops() const;
+
+  /// Rebuild the bond program from current atom positions (SC10 §IV-B2:
+  /// done every 100k-200k steps on the real machine).
+  void regenerateBondProgram();
+
+  /// Experiment support (Fig. 11): emulate the diffusion accumulated over a
+  /// long sampling gap by exchanging the positions of randomly chosen nearby
+  /// solvent molecules (`swapFraction` of them per call) and fast-forwarding
+  /// the home-box reassignment that stepwise migration would have performed.
+  /// Molecule swaps preserve liquid packing (no overlaps, stable physics)
+  /// while carrying atoms away from their statically assigned bond-program
+  /// nodes — the aging the experiment measures. Forces are re-bootstrapped
+  /// host-side; the bond program is left untouched.
+  void syntheticDiffusion(double swapFraction, std::uint64_t seed);
+
+  /// Number of atoms migrated during the last migration phase.
+  std::uint64_t lastMigrationCount() const { return lastMigrated_; }
+  /// Total atoms migrated since construction.
+  std::uint64_t totalMigrated() const { return migratedTotal_; }
+  int homeAtoms(int node) const { return int(nodes_[std::size_t(node)].atoms.size()); }
+
+  net::Machine& machine() { return machine_; }
+
+ private:
+  struct AtomRecord {
+    int gid = -1;
+    Vec3 pos;
+    Vec3 vel;
+  };
+  struct NodeState {
+    std::vector<AtomRecord> atoms;   ///< home atoms, sorted by gid
+    std::vector<Vec3> forces;        ///< decoded from accum memory per step
+    double kineticEnergy = 0.0;
+    // Cumulative counted-write expectations (counters never reset).
+    std::uint64_t posRounds = 0;
+    std::uint64_t forceExpected = 0;
+    std::uint64_t gridRounds = 0;
+    std::uint64_t potRounds = 0;
+    std::uint64_t bondPosExpected = 0;
+    std::uint64_t flushRounds = 0;
+  };
+
+  // --- setup -------------------------------------------------------------
+  void partitionAtoms(const MDSystem& sys);
+  void buildImportGroups();
+  void buildBondProgram();
+  void installPatterns();
+  void computeInitialForces();
+
+  // --- geometry ----------------------------------------------------------
+  int ownerOf(const Vec3& pos) const;
+  Vec3 nodeBoxOrigin(int node) const;
+  bool insideRelaxedBox(int node, const Vec3& pos) const;
+
+  // --- per-step tasks ----------------------------------------------------
+  sim::Task stepTask(int node, int stepNumber);
+  sim::Task sendPositions(int node);
+  sim::Task bondedPhase(int node);
+  sim::Task htisPhase(int node);
+  sim::Task longRangePhase(int node);
+  sim::Task migrationPhase(int node);
+  void zeroForceSlots(int node);
+
+  // --- helpers -----------------------------------------------------------
+  std::int32_t quantize(double v) const {
+    return std::int32_t(std::llround(v * cfg_.fixedPointScale));
+  }
+  double dequantize(std::int32_t v) const {
+    return double(v) / cfg_.fixedPointScale;
+  }
+  std::uint32_t posSlotAddr(int srcNode, int slot) const;
+  std::uint32_t forceSlotAddr(int slot) const {
+    return std::uint32_t(slot) * 12u;
+  }
+
+  net::Machine& machine_;
+  AntonMdConfig cfg_;
+  util::TorusShape shape_;
+  Vec3 box_;
+  Vec3 nodeBox_;     ///< per-node box dimensions
+  Vec3 margin_;      ///< relaxed-box margin (absolute)
+
+  // Static per-atom properties, indexed by gid (charges/masses don't move).
+  std::vector<double> charges_;
+  std::vector<double> masses_;
+  std::vector<double> ljStrength_;
+  MDSystem topology_;  ///< bonds/angles/dihedrals + box (positions unused)
+
+  std::vector<NodeState> nodes_;
+  int fixedPosPackets_ = 0;  ///< max over nodes (region stride sizing)
+  /// Per source node: fixed position-packet count per step (SC10 §IV-B1:
+  /// counts are fixed per source at the worst-case headroom, so receivers
+  /// can preload counter targets).
+  std::vector<int> posFixed_;
+
+  // Import groups (half-shell method).
+  std::vector<std::vector<int>> upperShell_;   ///< nodes I send positions to
+  std::vector<std::vector<int>> lowerShell_;   ///< nodes whose atoms I import
+  std::vector<int> posPattern_;                ///< multicast pattern per node
+  std::vector<int> potPattern_;                ///< potential-halo pattern
+
+  // Bond program: every term assigned to a compute node; per-node lists.
+  struct TermRef {
+    enum Kind { kBond, kAngle, kDihedral } kind;
+    int index;  ///< into topology_.{bonds,angles,dihedrals}
+  };
+  std::vector<std::vector<TermRef>> termsOnNode_;
+  std::vector<int> bondNodeOfTerm_[3];  ///< per kind: term -> node
+  /// Per compute node: atom gid -> receive slot in slice0 memory.
+  std::vector<std::map<int, int>> bondAtomSlot_;
+  /// Per atom gid: the distinct compute nodes needing its position.
+  std::vector<std::vector<int>> atomTermNodes_;
+
+  /// Solvent molecules (connected bond components of <= 4 atoms), used by
+  /// syntheticDiffusion.
+  std::vector<std::vector<int>> solventMolecules_;
+
+  std::unique_ptr<core::PatternAllocator> patterns_;
+  std::unique_ptr<core::NeighborhoodSync> migrationSync_;
+  std::unique_ptr<core::DimOrderedAllReduce> allReduce_;
+  std::unique_ptr<fft::DistributedFft3D> fft_;
+  std::unique_ptr<MeshEwald> ewald_;
+
+  int stepsDone_ = 0;
+  std::vector<StepTiming> timings_;
+  std::uint64_t lastMigrated_ = 0;
+  std::uint64_t migratedTotal_ = 0;
+
+  /// Receive-region modulus: smallest R such that srcNode % R is
+  /// collision-free within every 27-neighborhood (multicast packets carry a
+  /// single address, so regions must be a function of the source alone).
+  int posRegionMod_ = 1;
+  /// Per node: interpolated long-range forces of the current step.
+  std::vector<std::vector<Vec3>> lrForce_;
+  /// Fixed spread-charge packet count per node per long-range step.
+  std::uint64_t gridExpected_ = 0;
+
+  // Per-step coordination (filled while a step runs).
+  StepTiming current_;
+};
+
+}  // namespace anton::md

@@ -1,0 +1,54 @@
+#include "md/engine.hpp"
+
+#include <cmath>
+
+namespace anton::md {
+
+ReferenceEngine::ReferenceEngine(MDSystem sys, EngineParams params)
+    : sys_(std::move(sys)),
+      params_(params),
+      ewald_(sys_.box, params.ewald),
+      forces_(std::size_t(sys_.numAtoms())) {
+  computeForces();
+}
+
+void ReferenceEngine::computeForces() {
+  std::fill(forces_.begin(), forces_.end(), Vec3{});
+  energies_.bonded = bondedForces(sys_, forces_);
+  energies_.rangeLimited = rangeLimitedForces(sys_, params_.force, forces_);
+  if (params_.longRange && steps_ % params_.longRangeInterval == 0) {
+    energies_.longRange = ewald_.energyAndForces(sys_, forces_);
+  } else if (!params_.longRange) {
+    energies_.longRange = 0.0;
+  }  // else: reuse the previous long-range energy estimate
+  energies_.kinetic = sys_.kineticEnergy();
+}
+
+void ReferenceEngine::step() {
+  const double dt = params_.dt;
+  for (int i = 0; i < sys_.numAtoms(); ++i) {
+    auto s = std::size_t(i);
+    sys_.velocities[s] += (0.5 * dt / sys_.masses[s]) * forces_[s];
+    sys_.positions[s] = sys_.wrap(sys_.positions[s] + dt * sys_.velocities[s]);
+  }
+  ++steps_;
+  computeForces();
+  for (int i = 0; i < sys_.numAtoms(); ++i) {
+    auto s = std::size_t(i);
+    sys_.velocities[s] += (0.5 * dt / sys_.masses[s]) * forces_[s];
+  }
+  if (params_.thermostatTau > 0.0 && steps_ % params_.thermostatInterval == 0)
+    applyThermostat();
+  energies_.kinetic = sys_.kineticEnergy();
+}
+
+void ReferenceEngine::applyThermostat() {
+  double t = sys_.temperature();
+  if (t <= 0.0) return;
+  double lambda = std::sqrt(
+      1.0 + params_.dt / params_.thermostatTau *
+                (params_.targetTemperature / t - 1.0));
+  for (auto& v : sys_.velocities) v *= lambda;
+}
+
+}  // namespace anton::md

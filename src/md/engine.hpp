@@ -1,0 +1,64 @@
+// Single-process reference MD engine: the golden model for the Anton-mapped
+// implementation and the physics testbed (energy conservation, thermostat).
+#pragma once
+
+#include "md/ewald.hpp"
+#include "md/forces.hpp"
+#include "md/system.hpp"
+
+namespace anton::md {
+
+struct EngineParams {
+  ForceParams force;
+  EwaldParams ewald;
+  double dt = 0.002;
+  bool longRange = true;        ///< enable the FFT-based convolution
+  int longRangeInterval = 1;    ///< evaluate long-range every k-th step
+  double thermostatTau = 0.0;   ///< Berendsen coupling time; 0 = NVE
+  double targetTemperature = 1.0;
+  int thermostatInterval = 2;   ///< paper: temperature control every other step
+};
+
+struct Energies {
+  double bonded = 0.0;
+  double rangeLimited = 0.0;
+  double longRange = 0.0;
+  double kinetic = 0.0;
+  double total() const { return bonded + rangeLimited + longRange + kinetic; }
+};
+
+class ReferenceEngine {
+ public:
+  ReferenceEngine(MDSystem sys, EngineParams params);
+
+  const MDSystem& system() const { return sys_; }
+  MDSystem& system() { return sys_; }
+  const EngineParams& params() const { return params_; }
+  const std::vector<Vec3>& forces() const { return forces_; }
+  const Energies& energies() const { return energies_; }
+  long stepsDone() const { return steps_; }
+
+  /// Recompute all forces and potential energies at the current positions.
+  void computeForces();
+
+  /// One velocity-Verlet step (+ Berendsen velocity rescale on thermostat
+  /// steps). computeForces() must have been called once before stepping;
+  /// the constructor does so.
+  void step();
+
+  void run(int steps) {
+    for (int s = 0; s < steps; ++s) step();
+  }
+
+ private:
+  void applyThermostat();
+
+  MDSystem sys_;
+  EngineParams params_;
+  MeshEwald ewald_;
+  std::vector<Vec3> forces_;
+  Energies energies_;
+  long steps_ = 0;
+};
+
+}  // namespace anton::md

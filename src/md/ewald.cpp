@@ -1,0 +1,205 @@
+#include "md/ewald.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace anton::md {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+double bspline4(double x) {
+  if (x <= 0.0 || x >= 4.0) return 0.0;
+  if (x < 1.0) return x * x * x / 6.0;
+  if (x < 2.0) {
+    double t = x - 1.0;
+    return (1.0 + 3.0 * t + 3.0 * t * t - 3.0 * t * t * t) / 6.0;
+  }
+  if (x < 3.0) {
+    double t = 3.0 - x;
+    return (1.0 + 3.0 * t + 3.0 * t * t - 3.0 * t * t * t) / 6.0;
+  }
+  double t = 4.0 - x;
+  return t * t * t / 6.0;
+}
+
+double bspline4Derivative(double x) {
+  // dM4/dx = M3(x) - M3(x-1), with M3 the order-3 spline on [0,3].
+  auto m3 = [](double y) {
+    if (y <= 0.0 || y >= 3.0) return 0.0;
+    if (y < 1.0) return y * y / 2.0;
+    if (y < 2.0) return (-3.0 + 6.0 * y - 2.0 * y * y) / 2.0;
+    double t = 3.0 - y;
+    return t * t / 2.0;
+  };
+  return m3(x) - m3(x - 1.0);
+}
+
+SplineStencil splineStencil(double u, int gridExtent) {
+  SplineStencil s;
+  int base = int(std::floor(u));
+  for (int j = 0; j < 4; ++j) {
+    int g = base - j;
+    double x = u - double(g);  // in (j, j+1), within the spline support
+    int wrapped = ((g % gridExtent) + gridExtent) % gridExtent;
+    s.points[std::size_t(j)] = wrapped;
+    s.w[std::size_t(j)] = bspline4(x);
+    s.dw[std::size_t(j)] = bspline4Derivative(x);
+  }
+  return s;
+}
+
+MeshEwald::MeshEwald(const Vec3& box, EwaldParams p) : box_(box), params_(p) {
+  if (p.grid < 4) throw std::invalid_argument("grid too small for order-4 splines");
+  // |b(m)|^2 per dimension (Essmann et al. 1995, eq. 4.4), spline order 4.
+  for (int d = 0; d < 3; ++d) {
+    int K = p.grid;
+    bMod2_[d].resize(std::size_t(K));
+    for (int m = 0; m < K; ++m) {
+      std::complex<double> denom{0.0, 0.0};
+      for (int j = 0; j <= 2; ++j) {
+        double ang = 2.0 * kPi * double(m) * double(j) / double(K);
+        denom += bspline4(double(j + 1)) * std::complex<double>{std::cos(ang), std::sin(ang)};
+      }
+      double d2 = std::norm(denom);
+      bMod2_[d][std::size_t(m)] = d2 < 1e-10 ? 0.0 : 1.0 / d2;
+    }
+  }
+}
+
+double MeshEwald::influence(int m1, int m2, int m3) const {
+  const int K = params_.grid;
+  if (m1 == 0 && m2 == 0 && m3 == 0) return 0.0;
+  auto freq = [K](int m) { return m <= K / 2 ? m : m - K; };
+  int f1 = freq(m1), f2 = freq(m2), f3 = freq(m3);
+  if (std::abs(f1) == K / 2 || std::abs(f2) == K / 2 || std::abs(f3) == K / 2)
+    return 0.0;  // Nyquist planes: spline correction ill-defined
+  double kx = 2.0 * kPi * double(f1) / box_.x;
+  double ky = 2.0 * kPi * double(f2) / box_.y;
+  double kz = 2.0 * kPi * double(f3) / box_.z;
+  double k2 = kx * kx + ky * ky + kz * kz;
+  double V = box_.x * box_.y * box_.z;
+  double b2 = bMod2_[0][std::size_t(m1)] * bMod2_[1][std::size_t(m2)] *
+              bMod2_[2][std::size_t(m3)];
+  return params_.coulomb * (4.0 * kPi / k2) *
+         std::exp(-k2 / (4.0 * params_.kappa * params_.kappa)) * b2 / V;
+}
+
+fft::Grid3D MeshEwald::spreadCharges(const MDSystem& sys) const {
+  const int K = params_.grid;
+  fft::Grid3D grid(K, K, K);
+  for (int i = 0; i < sys.numAtoms(); ++i) {
+    const Vec3 p = sys.wrap(sys.positions[std::size_t(i)]);
+    SplineStencil sx = splineStencil(p.x / box_.x * K, K);
+    SplineStencil sy = splineStencil(p.y / box_.y * K, K);
+    SplineStencil sz = splineStencil(p.z / box_.z * K, K);
+    double q = sys.charges[std::size_t(i)];
+    for (int a = 0; a < 4; ++a)
+      for (int b = 0; b < 4; ++b)
+        for (int c = 0; c < 4; ++c)
+          grid.at(sx.points[std::size_t(a)], sy.points[std::size_t(b)],
+                  sz.points[std::size_t(c)]) +=
+              q * sx.w[std::size_t(a)] * sy.w[std::size_t(b)] * sz.w[std::size_t(c)];
+  }
+  return grid;
+}
+
+double MeshEwald::selfEnergy(const MDSystem& sys) const {
+  double q2 = 0.0;
+  for (double q : sys.charges) q2 += q * q;
+  return -params_.coulomb * params_.kappa / std::sqrt(kPi) * q2;
+}
+
+void MeshEwald::interpolateForces(const MDSystem& sys,
+                                  const fft::Grid3D& potential, int first,
+                                  int last, std::vector<Vec3>& f) const {
+  const int K = params_.grid;
+  for (int i = first; i < last; ++i) {
+    const Vec3 p = sys.wrap(sys.positions[std::size_t(i)]);
+    SplineStencil sx = splineStencil(p.x / box_.x * K, K);
+    SplineStencil sy = splineStencil(p.y / box_.y * K, K);
+    SplineStencil sz = splineStencil(p.z / box_.z * K, K);
+    double q = sys.charges[std::size_t(i)];
+    Vec3 grad;
+    for (int a = 0; a < 4; ++a)
+      for (int b = 0; b < 4; ++b)
+        for (int c = 0; c < 4; ++c) {
+          double phi = potential
+                           .at(sx.points[std::size_t(a)], sy.points[std::size_t(b)],
+                               sz.points[std::size_t(c)])
+                           .real();
+          grad.x += sx.dw[std::size_t(a)] * sy.w[std::size_t(b)] *
+                    sz.w[std::size_t(c)] * phi;
+          grad.y += sx.w[std::size_t(a)] * sy.dw[std::size_t(b)] *
+                    sz.w[std::size_t(c)] * phi;
+          grad.z += sx.w[std::size_t(a)] * sy.w[std::size_t(b)] *
+                    sz.dw[std::size_t(c)] * phi;
+        }
+    // d(scaled coord)/d(position) = K / L per dimension; F = -q grad(phi).
+    f[std::size_t(i)] -= q * Vec3{grad.x * K / box_.x, grad.y * K / box_.y,
+                                  grad.z * K / box_.z};
+  }
+}
+
+double MeshEwald::energyAndForces(const MDSystem& sys,
+                                  std::vector<Vec3>& f) const {
+  const int K = params_.grid;
+  fft::Grid3D grid = spreadCharges(sys);
+  fft::fft3d(grid, false);
+  double energy = 0.0;
+  for (int m3 = 0; m3 < K; ++m3)
+    for (int m2 = 0; m2 < K; ++m2)
+      for (int m1 = 0; m1 < K; ++m1) {
+        double g = influence(m1, m2, m3);
+        fft::Complex& v = grid.at(m1, m2, m3);
+        energy += 0.5 * g * std::norm(v);
+        v *= g;
+      }
+  fft::fft3d(grid, true);
+  // The force grid is dE/dQ(g) = K^3 * IFFT(G * Qhat): the normalized
+  // inverse transform must be rescaled by the grid size.
+  double k3 = double(K) * double(K) * double(K);
+  for (auto& v : grid.data()) v *= k3;
+  interpolateForces(sys, grid, 0, sys.numAtoms(), f);
+  return energy + selfEnergy(sys);
+}
+
+double ewaldReferenceEnergyAndForces(const MDSystem& sys, double kappa,
+                                     double coulomb, int kmax,
+                                     std::vector<Vec3>& f) {
+  const int n = sys.numAtoms();
+  double energy = 0.0;
+  for (int mx = -kmax; mx <= kmax; ++mx)
+    for (int my = -kmax; my <= kmax; ++my)
+      for (int mz = -kmax; mz <= kmax; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) continue;
+        Vec3 k{2.0 * kPi * mx / sys.box.x, 2.0 * kPi * my / sys.box.y,
+               2.0 * kPi * mz / sys.box.z};
+        double k2 = k.norm2();
+        double g = coulomb * (4.0 * kPi / k2) *
+                   std::exp(-k2 / (4.0 * kappa * kappa)) /
+                   (sys.box.x * sys.box.y * sys.box.z);
+        // Structure factor.
+        double re = 0.0, im = 0.0;
+        for (int i = 0; i < n; ++i) {
+          double ph = k.dot(sys.positions[std::size_t(i)]);
+          re += sys.charges[std::size_t(i)] * std::cos(ph);
+          im += sys.charges[std::size_t(i)] * std::sin(ph);
+        }
+        energy += 0.5 * g * (re * re + im * im);
+        for (int i = 0; i < n; ++i) {
+          double ph = k.dot(sys.positions[std::size_t(i)]);
+          double coeff = g * sys.charges[std::size_t(i)] *
+                         (std::sin(ph) * re - std::cos(ph) * im);
+          f[std::size_t(i)] += coeff * k;
+        }
+      }
+  double q2 = 0.0;
+  for (double q : sys.charges) q2 += q * q;
+  return energy - coulomb * kappa / std::sqrt(kPi) * q2;
+}
+
+}  // namespace anton::md

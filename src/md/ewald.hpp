@@ -1,0 +1,83 @@
+// Long-range electrostatics: FFT-based convolution (SC10 §II).
+//
+// Charges are spread to a regular grid with cardinal B-splines (order 4),
+// the grid is convolved with the Ewald reciprocal-space influence function
+// via forward FFT -> multiply -> inverse FFT, and per-atom forces are
+// interpolated from the potential grid with the spline derivatives — the
+// same charge-spreading / FFT / force-interpolation pipeline Anton's HTIS
+// and flexible subsystem execute. A direct k-space Ewald sum serves as the
+// convergence reference for tests.
+//
+// Conventions: real-space pair energy is C q_i q_j erfc(kappa r)/r, so the
+// reciprocal part is E = (C/2V) sum_{k!=0} (4pi/k^2) exp(-k^2/4kappa^2)
+// |rho(k)|^2 and the self correction is -C kappa/sqrt(pi) sum q_i^2.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "fft/grid3d.hpp"
+#include "md/system.hpp"
+
+namespace anton::md {
+
+/// Order-4 cardinal B-spline M4 on [0,4] and its derivative.
+double bspline4(double x);
+double bspline4Derivative(double x);
+
+/// Spreading stencil of one atom along one dimension: 4 grid points with
+/// weights and d(weight)/d(coordinate) (in grid units).
+struct SplineStencil {
+  std::array<int, 4> points;   ///< grid indices (wrapped)
+  std::array<double, 4> w;     ///< M4 weights, sum to 1
+  std::array<double, 4> dw;    ///< derivative wrt the scaled coordinate
+};
+SplineStencil splineStencil(double scaledCoord, int gridExtent);
+
+struct EwaldParams {
+  int grid = 32;          ///< grid extent per dimension (power of two)
+  double kappa = 1.0;     ///< must match ForceParams::ewaldKappa
+  double coulomb = 1.0;   ///< must match ForceParams::coulomb
+};
+
+/// Host-side mesh Ewald (smooth-particle-mesh style).
+class MeshEwald {
+ public:
+  MeshEwald(const Vec3& box, EwaldParams p);
+
+  const EwaldParams& params() const { return params_; }
+  const Vec3& box() const { return box_; }
+
+  /// Influence function at frequency indices (m1, m2, m3): includes the
+  /// 4pi/k^2 Ewald factor, the Gaussian damping, the B-spline correction
+  /// |b1 b2 b3|^2, the Coulomb constant and 1/V. Zero at k = 0 and at the
+  /// Nyquist planes.
+  double influence(int m1, int m2, int m3) const;
+
+  /// Spread all charges onto a fresh grid (real part carries the charge).
+  fft::Grid3D spreadCharges(const MDSystem& sys) const;
+
+  /// Reciprocal-space energy and forces. Forces accumulate into f; the
+  /// returned energy includes the self-energy correction.
+  double energyAndForces(const MDSystem& sys, std::vector<Vec3>& f) const;
+
+  /// Interpolate forces for atom range [first, last) from a potential grid
+  /// (used by both the host path and the Anton-mapped path).
+  void interpolateForces(const MDSystem& sys, const fft::Grid3D& potential,
+                         int first, int last, std::vector<Vec3>& f) const;
+
+  double selfEnergy(const MDSystem& sys) const;
+
+ private:
+  Vec3 box_;
+  EwaldParams params_;
+  std::vector<double> bMod2_[3];  ///< |b(m)|^2 per dimension
+};
+
+/// Direct reciprocal-space Ewald sum over |m_d| <= kmax (plus self energy):
+/// the slow, exact reference the mesh implementation must converge to.
+double ewaldReferenceEnergyAndForces(const MDSystem& sys, double kappa,
+                                     double coulomb, int kmax,
+                                     std::vector<Vec3>& f);
+
+}  // namespace anton::md

@@ -1,0 +1,209 @@
+#include "md/forces.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace anton::md {
+
+double bondForce(const MDSystem& sys, const Bond& b, std::vector<Vec3>& f) {
+  Vec3 d = sys.minImage(sys.positions[std::size_t(b.i)],
+                        sys.positions[std::size_t(b.j)]);
+  double r = d.norm();
+  double dr = r - b.r0;
+  double dUdr = 2.0 * b.k * dr;
+  Vec3 fi = (dUdr / r) * d;  // F_i = dU/dr * dhat (d points i -> j)
+  f[std::size_t(b.i)] += fi;
+  f[std::size_t(b.j)] -= fi;
+  return b.k * dr * dr;
+}
+
+double angleForce(const MDSystem& sys, const Angle& a, std::vector<Vec3>& f) {
+  // j is the vertex.
+  Vec3 rij = sys.minImage(sys.positions[std::size_t(a.j)],
+                          sys.positions[std::size_t(a.i)]);
+  Vec3 rkj = sys.minImage(sys.positions[std::size_t(a.j)],
+                          sys.positions[std::size_t(a.k)]);
+  double lij = rij.norm();
+  double lkj = rkj.norm();
+  double cosT = std::clamp(rij.dot(rkj) / (lij * lkj), -1.0, 1.0);
+  double sinT = std::sqrt(std::max(1e-12, 1.0 - cosT * cosT));
+  double theta = std::acos(cosT);
+  double dTheta = theta - a.theta0;
+  double dUdT = 2.0 * a.kTheta * dTheta;
+
+  Vec3 uij = rij * (1.0 / lij);
+  Vec3 ukj = rkj * (1.0 / lkj);
+  Vec3 fi = (dUdT / (lij * sinT)) * (ukj - cosT * uij);
+  Vec3 fk = (dUdT / (lkj * sinT)) * (uij - cosT * ukj);
+  f[std::size_t(a.i)] += fi;
+  f[std::size_t(a.k)] += fk;
+  f[std::size_t(a.j)] -= fi + fk;
+  return a.kTheta * dTheta * dTheta;
+}
+
+double dihedralForce(const MDSystem& sys, const Dihedral& d,
+                     std::vector<Vec3>& f) {
+  const Vec3& ri = sys.positions[std::size_t(d.i)];
+  const Vec3& rj = sys.positions[std::size_t(d.j)];
+  const Vec3& rk = sys.positions[std::size_t(d.k)];
+  const Vec3& rl = sys.positions[std::size_t(d.l)];
+  Vec3 b1 = sys.minImage(ri, rj);
+  Vec3 b2 = sys.minImage(rj, rk);
+  Vec3 b3 = sys.minImage(rk, rl);
+
+  Vec3 n1 = b1.cross(b2);
+  Vec3 n2 = b2.cross(b3);
+  double lb2 = b2.norm();
+  double n1sq = std::max(1e-12, n1.norm2());
+  double n2sq = std::max(1e-12, n2.norm2());
+
+  double x = n1.dot(n2);
+  double y = n1.cross(n2).dot(b2) / lb2;
+  double phi = std::atan2(y, x);
+
+  double arg = d.n * phi - d.phi0;
+  double energy = d.kPhi * (1.0 + std::cos(arg));
+  double dUdPhi = -d.kPhi * double(d.n) * std::sin(arg);
+
+  Vec3 fi = (dUdPhi * lb2 / n1sq) * n1;
+  Vec3 fl = (-dUdPhi * lb2 / n2sq) * n2;
+  double tj = b1.dot(b2) / (lb2 * lb2);
+  double tk = b3.dot(b2) / (lb2 * lb2);
+  Vec3 fj = -(1.0 + tj) * fi + tk * fl;
+  Vec3 fk = tj * fi - (1.0 + tk) * fl;
+
+  f[std::size_t(d.i)] += fi;
+  f[std::size_t(d.j)] += fj;
+  f[std::size_t(d.k)] += fk;
+  f[std::size_t(d.l)] += fl;
+  return energy;
+}
+
+double bondedForces(const MDSystem& sys, std::vector<Vec3>& f) {
+  double e = 0.0;
+  for (const Bond& b : sys.bonds) e += bondForce(sys, b, f);
+  for (const Angle& a : sys.angles) e += angleForce(sys, a, f);
+  for (const Dihedral& d : sys.dihedrals) e += dihedralForce(sys, d, f);
+  return e;
+}
+
+PairForce rangeLimitedPair(const Vec3& d, double qi, double qj,
+                           const ForceParams& p, double ljPrefactor) {
+  PairForce out;
+  double r2 = d.norm2();
+  if (r2 >= p.cutoff * p.cutoff || r2 == 0.0) return out;
+  double r = std::sqrt(r2);
+
+  // Lennard-Jones (sigma = epsilon = 1), optionally shifted to 0 at cutoff.
+  double inv2 = 1.0 / r2;
+  double inv6 = inv2 * inv2 * inv2;
+  double inv12 = inv6 * inv6;
+  double lj = ljPrefactor * 4.0 * (inv12 - inv6);
+  if (p.shiftLJ) {
+    double c2 = 1.0 / (p.cutoff * p.cutoff);
+    double c6 = c2 * c2 * c2;
+    lj -= ljPrefactor * 4.0 * (c6 * c6 - c6);
+  }
+  double dUdr_lj = ljPrefactor * (-48.0 * inv12 + 24.0 * inv6) / r;
+
+  // Real-space Ewald electrostatics: q_i q_j erfc(kappa r) / r.
+  double kr = p.ewaldKappa * r;
+  double erfcTerm = std::erfc(kr);
+  double gauss = std::exp(-kr * kr);
+  double qq = p.coulomb * qi * qj;
+  double coul = qq * erfcTerm / r;
+  double dUdr_coul =
+      -qq * (erfcTerm / r2 +
+             2.0 * p.ewaldKappa * gauss / (std::sqrt(std::numbers::pi) * r));
+
+  double dUdr = dUdr_lj + dUdr_coul;
+  out.onI = (dUdr / r) * d;
+  out.energy = lj + coul;
+  return out;
+}
+
+CellList::CellList(const MDSystem& sys, double cutoff)
+    : cutoff_(cutoff), numAtoms_(sys.numAtoms()) {
+  nx_ = std::max(1, int(sys.box.x / cutoff));
+  ny_ = std::max(1, int(sys.box.y / cutoff));
+  nz_ = std::max(1, int(sys.box.z / cutoff));
+  if (nx_ < 3 || ny_ < 3 || nz_ < 3) {
+    bruteForce_ = true;
+    return;
+  }
+  cells_.assign(std::size_t(nx_) * std::size_t(ny_) * std::size_t(nz_), {});
+  for (int i = 0; i < sys.numAtoms(); ++i) {
+    Vec3 p = sys.wrap(sys.positions[std::size_t(i)]);
+    int cx = std::min(nx_ - 1, int(p.x / sys.box.x * nx_));
+    int cy = std::min(ny_ - 1, int(p.y / sys.box.y * ny_));
+    int cz = std::min(nz_ - 1, int(p.z / sys.box.z * nz_));
+    cells_[std::size_t(cx) + std::size_t(nx_) *
+                                 (std::size_t(cy) + std::size_t(ny_) * std::size_t(cz))]
+        .push_back(i);
+  }
+}
+
+void CellList::forEachPair(
+    const MDSystem& sys,
+    const std::function<void(int, int, const Vec3&)>& fn) const {
+  auto tryPair = [&](int i, int j) {
+    Vec3 d = sys.minImage(sys.positions[std::size_t(i)],
+                          sys.positions[std::size_t(j)]);
+    if (d.norm2() < cutoff_ * cutoff_) fn(i, j, d);
+  };
+
+  if (bruteForce_) {
+    for (int i = 0; i < numAtoms_; ++i)
+      for (int j = i + 1; j < numAtoms_; ++j) tryPair(i, j);
+    return;
+  }
+
+  // Half-shell of neighbor cell offsets: each unordered cell pair visited
+  // exactly once (13 offsets), plus within-cell pairs.
+  static constexpr int kOffsets[13][3] = {
+      {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},  {1, -1, 0},
+      {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1}, {1, 1, 1},
+      {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+
+  auto cellAt = [&](int x, int y, int z) -> const std::vector<int>& {
+    x = (x % nx_ + nx_) % nx_;
+    y = (y % ny_ + ny_) % ny_;
+    z = (z % nz_ + nz_) % nz_;
+    return cells_[std::size_t(x) +
+                  std::size_t(nx_) * (std::size_t(y) + std::size_t(ny_) * std::size_t(z))];
+  };
+
+  for (int cz = 0; cz < nz_; ++cz)
+    for (int cy = 0; cy < ny_; ++cy)
+      for (int cx = 0; cx < nx_; ++cx) {
+        const std::vector<int>& home = cellAt(cx, cy, cz);
+        for (std::size_t ii = 0; ii < home.size(); ++ii)
+          for (std::size_t jj = ii + 1; jj < home.size(); ++jj)
+            tryPair(home[ii], home[jj]);
+        for (const auto& off : kOffsets) {
+          const std::vector<int>& other =
+              cellAt(cx + off[0], cy + off[1], cz + off[2]);
+          if (&other == &home) continue;  // tiny torus wrap: already done
+          for (int i : home)
+            for (int j : other) tryPair(i, j);
+        }
+      }
+}
+
+double rangeLimitedForces(const MDSystem& sys, const ForceParams& p,
+                          std::vector<Vec3>& f) {
+  CellList cl(sys, p.cutoff);
+  double energy = 0.0;
+  cl.forEachPair(sys, [&](int i, int j, const Vec3& d) {
+    PairForce pf = rangeLimitedPair(d, sys.charges[std::size_t(i)],
+                                    sys.charges[std::size_t(j)], p,
+                                    sys.ljOf(i) * sys.ljOf(j));
+    f[std::size_t(i)] += pf.onI;
+    f[std::size_t(j)] -= pf.onI;
+    energy += pf.energy;
+  });
+  return energy;
+}
+
+}  // namespace anton::md

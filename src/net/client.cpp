@@ -1,0 +1,161 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+
+#include "net/machine.hpp"
+
+namespace anton::net {
+
+NetworkClient::NetworkClient(Machine& machine, ClientAddr addr,
+                             std::size_t memBytes, int numCounters)
+    : machine_(machine),
+      addr_(addr),
+      mem_(memBytes),
+      counters_(std::size_t(numCounters)) {}
+
+void NetworkClient::hostWrite(std::uint32_t address, const void* data,
+                              std::size_t n) {
+  if (address + n > mem_.size())
+    throw std::out_of_range("NetworkClient::hostWrite out of range");
+  std::memcpy(mem_.data() + address, data, n);
+}
+
+sim::Time NetworkClient::pollLatency() const {
+  return machine_.latency().pollSuccess();
+}
+
+void NetworkClient::CounterWait::await_suspend(std::coroutine_handle<> h) const {
+  SyncCounter& c = client.counters_[std::size_t(id)];
+  if (c.value >= target) {
+    // Already satisfied: the poll still costs one successful-poll latency.
+    client.machine_.sim().resumeAfter(client.pollLatency(), h);
+  } else {
+    c.waiters.push_back({target, h});
+  }
+}
+
+void NetworkClient::bumpCounter(int id, sim::Time /*now*/) {
+  SyncCounter& c = counters_[std::size_t(id)];
+  ++c.value;
+  // Wake every poller whose threshold is now met; each resumes after the
+  // polling latency of this client's counter bank.
+  for (auto it = c.waiters.begin(); it != c.waiters.end();) {
+    if (it->target <= c.value) {
+      machine_.sim().resumeAfter(pollLatency(), it->handle);
+      it = c.waiters.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetworkClient::deliver(const PacketPtr& p) {
+  if (p->type == PacketType::kFifo)
+    throw std::logic_error("FIFO packet delivered to a non-slice client");
+  if (p->type == PacketType::kAccum)
+    throw std::logic_error(
+        "accumulation packet delivered to a non-accumulation client");
+  std::size_t n = p->payloadBytes();
+  if (n != 0) {
+    if (p->address + n > mem_.size())
+      throw std::out_of_range("remote write past end of client memory");
+    std::memcpy(mem_.data() + p->address, p->payload->data(), n);
+  }
+  if (p->counterId != kNoCounter) {
+    checkCounter(p->counterId);
+    bumpCounter(p->counterId, machine_.sim().now());
+  }
+}
+
+PacketPtr NetworkClient::post(const SendArgs& args) {
+  if (!canSend())
+    throw std::logic_error("this client type cannot inject packets");
+  auto p = std::make_shared<Packet>();
+  p->type = args.type;
+  p->src = addr_;
+  p->dst = args.dst;
+  p->multicastPattern = args.multicastPattern;
+  p->counterId = args.counterId;
+  p->address = args.address;
+  p->inOrder = args.inOrder;
+  p->payload = args.payload;
+  machine_.inject(p);
+  return p;
+}
+
+sim::Task NetworkClient::send(SendArgs args) {
+  PacketPtr p = post(args);
+  // Packet creation is pipelined: the core is occupied for the injection
+  // slot (or the wire serialization, whichever is longer), while the 36 ns
+  // assembly latency is charged inside the packet's own pipeline.
+  const auto& lat = machine_.latency();
+  co_await machine_.sim().delay(std::max(
+      sim::ns(lat.injectOccupancyNs), lat.linkSerialization(p->wireBytes())));
+}
+
+// --- ProcessingSlice ------------------------------------------------------
+
+void ProcessingSlice::deliver(const PacketPtr& p) {
+  if (p->type == PacketType::kFifo) {
+    fifo_.push_back(p);
+    fifoHighWater_ = std::max(fifoHighWater_, fifo_.size());
+    if (p->counterId != kNoCounter) {
+      checkCounter(p->counterId);
+      bumpCounter(p->counterId, machine_.sim().now());
+    }
+    tryWakeFifoWaiter(machine_.sim().now());
+    return;
+  }
+  NetworkClient::deliver(p);
+}
+
+void ProcessingSlice::FifoWait::await_suspend(std::coroutine_handle<> h) {
+  slice.fifoWaiters_.push_back({this, h});
+  slice.tryWakeFifoWaiter(slice.machine().sim().now());
+}
+
+void ProcessingSlice::tryWakeFifoWaiter(sim::Time /*now*/) {
+  while (!fifoWaiters_.empty() && !fifo_.empty()) {
+    FifoWaiterRef w = fifoWaiters_.front();
+    fifoWaiters_.pop_front();
+    w.wait->result = std::move(fifo_.front());
+    fifo_.pop_front();
+    machine_.sim().resumeAfter(pollLatency(), w.handle);
+  }
+}
+
+// --- AccumulationMemory ---------------------------------------------------
+
+sim::Time AccumulationMemory::pollLatency() const {
+  return machine_.latency().accumPoll();
+}
+
+void AccumulationMemory::deliver(const PacketPtr& p) {
+  if (p->type != PacketType::kAccum) {
+    NetworkClient::deliver(p);
+    return;
+  }
+  // Accumulation packets add their payload to memory in 4-byte quantities
+  // (two's-complement fixed point; associative and order-independent).
+  std::size_t n = p->payloadBytes();
+  if (n % 4 != 0)
+    throw std::logic_error("accumulation payload must be a multiple of 4 bytes");
+  if (p->address % 4 != 0)
+    throw std::logic_error("accumulation address must be 4-byte aligned");
+  if (p->address + n > mem_.size())
+    throw std::out_of_range("accumulation past end of memory");
+  const std::byte* src = p->payload->data();
+  for (std::size_t off = 0; off < n; off += 4) {
+    std::uint32_t cur, add;
+    std::memcpy(&cur, mem_.data() + p->address + off, 4);
+    std::memcpy(&add, src + off, 4);
+    cur += add;  // wrapping add == two's-complement fixed-point accumulate
+    std::memcpy(mem_.data() + p->address + off, &cur, 4);
+  }
+  if (p->counterId != kNoCounter) {
+    checkCounter(p->counterId);
+    bumpCounter(p->counterId, machine_.sim().now());
+  }
+}
+
+}  // namespace anton::net

@@ -1,0 +1,201 @@
+// Network clients: the endpoints of Anton's communication fabric.
+//
+// Every client owns a local memory that directly accepts write packets and a
+// bank of synchronization counters incremented as counted packets commit
+// (SC10 §III-B). Processing slices additionally own a hardware-managed
+// message FIFO for traffic whose pattern cannot be fixed in advance
+// (§III-C, used for migration). Accumulation memories cannot send and apply
+// 4-byte-wise adds for accumulation packets.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace anton::net {
+
+class Machine;
+
+/// One synchronization counter: a monotonically increasing packet count plus
+/// the list of coroutines polling it for a threshold.
+struct SyncCounter {
+  std::uint64_t value = 0;
+  struct Waiter {
+    std::uint64_t target;
+    std::coroutine_handle<> handle;
+  };
+  std::vector<Waiter> waiters;
+};
+
+class NetworkClient {
+ public:
+  NetworkClient(Machine& machine, ClientAddr addr, std::size_t memBytes,
+                int numCounters);
+  virtual ~NetworkClient() = default;
+  NetworkClient(const NetworkClient&) = delete;
+  NetworkClient& operator=(const NetworkClient&) = delete;
+
+  ClientAddr addr() const { return addr_; }
+  Machine& machine() { return machine_; }
+
+  /// Whether this client type can inject packets (accumulation memories
+  /// cannot; SC10 §III-A).
+  virtual bool canSend() const { return true; }
+
+  // --- local memory (host-visible for verification and setup) ---
+  std::span<const std::byte> memory() const { return mem_; }
+  std::size_t memoryBytes() const { return mem_.size(); }
+  void hostWrite(std::uint32_t address, const void* data, std::size_t n);
+  template <typename T>
+  T read(std::uint32_t address) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (address + sizeof(T) > mem_.size())
+      throw std::out_of_range("NetworkClient::read out of range");
+    T v;
+    std::memcpy(&v, mem_.data() + address, sizeof(T));
+    return v;
+  }
+
+  // --- synchronization counters ---
+  int numCounters() const { return static_cast<int>(counters_.size()); }
+  std::uint64_t counterValue(int id) const { return counters_.at(size_t(id)).value; }
+
+  /// Awaitable: suspend until counters[id] >= target, then resume after the
+  /// polling latency (local poll for slices/HTIS, cross-ring poll for
+  /// accumulation memories). Counters are cumulative and never reset, so
+  /// software tracks absolute targets across phases — this mirrors how the
+  /// real firmware avoids reset races.
+  struct CounterWait {
+    NetworkClient& client;
+    int id;
+    std::uint64_t target;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+  };
+  CounterWait waitCounter(int id, std::uint64_t target) {
+    checkCounter(id);
+    return CounterWait{*this, id, target};
+  }
+
+  /// Latency of one successful poll of this client's counters, as seen by
+  /// software on a processing slice of the same node.
+  virtual sim::Time pollLatency() const;
+
+  /// Commit an arriving packet: write/accumulate payload, bump the counter,
+  /// wake pollers. Called by the machine at the packet's delivery time.
+  virtual void deliver(const PacketPtr& p);
+
+  // --- sending (programs running on this client) ---
+
+  /// Parameters for a send issued by software on this client. The awaitable
+  /// returned by send() charges the packet-assembly time to the caller and
+  /// injects the packet so that its pipeline overlaps that assembly.
+  struct SendArgs {
+    PacketType type = PacketType::kWrite;
+    ClientAddr dst;
+    int multicastPattern = kNoMulticast;
+    int counterId = kNoCounter;
+    std::uint32_t address = 0;
+    bool inOrder = false;
+    std::shared_ptr<const std::vector<std::byte>> payload;
+  };
+
+  /// Fire-and-forget injection at the current simulated time (assembly time
+  /// is part of the packet pipeline, not charged to any caller). Returns the
+  /// packet for inspection.
+  PacketPtr post(const SendArgs& args);
+
+  /// Coroutine form: `co_await client.send(args)` — the caller is busy for
+  /// the assembly time, overlapping the packet's network pipeline.
+  sim::Task send(SendArgs args);
+
+ protected:
+  void bumpCounter(int id, sim::Time now);
+  void checkCounter(int id) const {
+    if (id < 0 || id >= numCounters())
+      throw std::out_of_range("bad sync counter id");
+  }
+
+  Machine& machine_;
+  ClientAddr addr_;
+  std::vector<std::byte> mem_;
+  std::vector<SyncCounter> counters_;
+};
+
+/// A processing slice: one Tensilica core plus two geometry cores. Programs
+/// (sim::Task coroutines) model the Tensilica firmware; the message FIFO
+/// accepts arbitrary traffic.
+class ProcessingSlice final : public NetworkClient {
+ public:
+  using NetworkClient::NetworkClient;
+
+  void deliver(const PacketPtr& p) override;
+
+  /// Awaitable: pop the next FIFO message (suspends while empty). The resume
+  /// carries the packet; polling latency applies.
+  struct FifoWait {
+    ProcessingSlice& slice;
+    PacketPtr result;
+    bool await_ready() noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    PacketPtr await_resume() noexcept { return std::move(result); }
+  };
+  FifoWait receiveFifo() { return FifoWait{*this, nullptr}; }
+
+  /// Non-blocking pop: the next queued FIFO message, or null when empty.
+  /// Used after a flush counter guarantees all messages have arrived.
+  PacketPtr pollFifo() {
+    if (fifo_.empty()) return nullptr;
+    PacketPtr p = std::move(fifo_.front());
+    fifo_.pop_front();
+    return p;
+  }
+
+  std::size_t fifoDepth() const { return fifo_.size(); }
+  std::size_t fifoHighWater() const { return fifoHighWater_; }
+
+ private:
+  friend struct FifoWait;
+  void tryWakeFifoWaiter(sim::Time now);
+
+  std::deque<PacketPtr> fifo_;
+  std::size_t fifoHighWater_ = 0;
+  struct FifoWaiterRef {
+    FifoWait* wait;
+    std::coroutine_handle<> handle;
+  };
+  std::deque<FifoWaiterRef> fifoWaiters_;
+};
+
+/// The high-throughput interaction subsystem endpoint. Behaviorally a client
+/// with memory, counters and send capability; the pairwise-interaction
+/// pipelines themselves are modeled by the MD layer as calibrated compute
+/// phases on this client.
+class Htis final : public NetworkClient {
+ public:
+  using NetworkClient::NetworkClient;
+};
+
+/// Accumulation memory: accepts write and accumulation packets; accumulation
+/// adds the payload in 4-byte two's-complement quantities (fixed-point force
+/// and charge summation). Cannot send; its counters are polled by slices
+/// across the on-chip ring and therefore cost more to poll (SC10 §III-B).
+class AccumulationMemory final : public NetworkClient {
+ public:
+  using NetworkClient::NetworkClient;
+
+  bool canSend() const override { return false; }
+  sim::Time pollLatency() const override;
+  void deliver(const PacketPtr& p) override;
+};
+
+}  // namespace anton::net

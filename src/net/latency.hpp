@@ -1,0 +1,109 @@
+// Latency model of one Anton node and its torus links.
+//
+// Calibration targets are the published measurements of SC10 Figs. 5 and 6:
+//   * neighbor-X end-to-end 0-byte write latency  = 162 ns
+//     (36 assembly + 19 two-router ring path + 20 adapter + 20 adapter +
+//      25 three-router ring path + 42 counter update/successful poll)
+//   * per-hop through-node transit: 76 ns in X, 54 ns in Y and Z
+//   * on-chip ring path of k routers costs 7 + 6*k ns (k=2 -> 19, k=3 -> 25)
+//   * link: 50.6 Gbit/s raw, 36.8 Gbit/s effective per direction
+//   * on-chip ring: 124.2 Gbit/s
+//
+// The six on-chip routers form a ring (SC10 Fig. 1). We fix a concrete
+// client/adapter placement (documented in DESIGN.md §4) that reproduces the
+// measured ring-path hop counts; through-node transit costs are kept as
+// per-dimension calibrated aggregates because the paper's own component
+// measurements do not decompose exactly.
+#pragma once
+
+#include <array>
+#include <cstdlib>
+
+#include "sim/time.hpp"
+
+namespace anton::net {
+
+inline constexpr int kNumRouters = 6;
+
+/// Placement of clients and link adapters on the six-router on-chip ring,
+/// plus the ring-path cost law. The ring is traversed bidirectionally along
+/// the shorter arc, matching the symmetric +/-X latencies of Fig. 5.
+struct RingLayout {
+  // Router slot of each client (indexed by client id, see packet.hpp).
+  std::array<int, 7> clientRouter = {0, 0, 0, 0, /*HTIS*/ 2, /*accums*/ 5, 5};
+  // Router slot of each link adapter, indexed by dim*2 + (sign>0 ? 0 : 1):
+  // X+ at R1, X- at R4 (so slice->X+ traverses 2 routers and X- ->slice
+  // traverses 3, per Fig. 6); Y+- share R2; Z+- share R3.
+  std::array<int, 6> adapterRouter = {1, 4, 2, 2, 3, 3};
+
+  static int adapterIndex(int dim, int sign) { return dim * 2 + (sign > 0 ? 0 : 1); }
+
+  /// Number of routers traversed from `from` to `to` along the shorter arc,
+  /// inclusive of both endpoints (same router => 1).
+  int routersTraversed(int from, int to) const {
+    int fwd = (to - from + kNumRouters) % kNumRouters;
+    int d = std::min(fwd, kNumRouters - fwd);
+    return d + 1;
+  }
+};
+
+/// All calibrated delay/bandwidth constants. Times in nanoseconds (doubles)
+/// at the API surface; converted to integer picoseconds inside the machine.
+struct LatencyConfig {
+  double assemblyNs = 36.0;        ///< packet assembly + injection at a slice/HTIS
+  /// Core occupancy per back-to-back send: packet creation is pipelined, so
+  /// a core issuing a burst is busy far less than the 36 ns assembly
+  /// *latency* per packet (this is what makes fine-grained messaging cheap,
+  /// SC10 Fig. 7). The effective injection rate is
+  /// max(injectOccupancyNs, wire serialization).
+  double injectOccupancyNs = 11.0;
+  double adapterNs = 20.0;         ///< each link-adapter traversal (wire folded in)
+  double pollSuccessNs = 42.0;     ///< counter update + successful local poll
+  double accumPollNs = 150.0;      ///< polling an accumulation-memory counter
+                                   ///< from a slice across the on-chip ring
+  double routerHopBaseNs = 7.0;    ///< ring path cost = base + each * routers
+  double routerHopEachNs = 6.0;
+  /// Per-dimension wire delay of a torus link traversal (X links are short
+  /// board traces; Y/Z cross backplanes; SC10 Fig. 6 caption).
+  std::array<double, 3> wireNs = {0.0, 0.0, 0.0};
+  /// On-chip path cost for straight-through transit traffic per dimension
+  /// (calibrated aggregates: 20+36+20 = 76 ns/hop X, 20+14+20 = 54 ns/hop Y/Z).
+  std::array<double, 3> transitNs = {36.0, 14.0, 14.0};
+
+  double linkBytesPerNs = 4.6;     ///< 36.8 Gbit/s effective, per direction
+  double ringBytesPerNs = 15.525;  ///< 124.2 Gbit/s on-chip ring
+  /// Spatial reuse of the six-segment ring: distinct source/destination
+  /// pairs occupy disjoint arcs, so aggregate throughput is a multiple of
+  /// the per-segment rate. Applied to occupancy only (not latency).
+  double ringConcurrency = 3.0;
+
+  RingLayout ring;
+
+  /// Ring-path cost between two router slots in simulated time.
+  sim::Time ringPath(int fromRouter, int toRouter) const {
+    int k = ring.routersTraversed(fromRouter, toRouter);
+    return sim::ns(routerHopBaseNs + routerHopEachNs * k);
+  }
+
+  sim::Time assembly() const { return sim::ns(assemblyNs); }
+  sim::Time adapter() const { return sim::ns(adapterNs); }
+  sim::Time pollSuccess() const { return sim::ns(pollSuccessNs); }
+  sim::Time accumPoll() const { return sim::ns(accumPollNs); }
+  sim::Time wire(int dim) const { return sim::ns(wireNs[static_cast<std::size_t>(dim)]); }
+  sim::Time transit(int dim) const {
+    return sim::ns(transitNs[static_cast<std::size_t>(dim)]);
+  }
+  sim::Time linkSerialization(std::size_t bytes) const {
+    return sim::ns(double(bytes) / linkBytesPerNs);
+  }
+  sim::Time ringSerialization(std::size_t bytes) const {
+    return sim::ns(double(bytes) / ringBytesPerNs);
+  }
+  /// Ring busy window charged per packet at a node (occupancy, with
+  /// spatial-reuse concurrency folded in).
+  sim::Time ringOccupancy(std::size_t bytes) const {
+    return sim::ns(double(bytes) / (ringBytesPerNs * ringConcurrency));
+  }
+};
+
+}  // namespace anton::net

@@ -1,0 +1,170 @@
+#include "net/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/activity.hpp"
+
+namespace anton::net {
+
+namespace {
+
+// The six permutations of {x, y, z} used for adaptive dimension ordering.
+constexpr std::array<std::array<int, 3>, 6> kDimPerms = {{
+    {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}};
+
+}  // namespace
+
+Machine::Machine(sim::Simulator& sim, util::TorusShape shape, MachineConfig cfg)
+    : sim_(sim), shape_(shape), cfg_(cfg) {
+  if (shape.nx < 1 || shape.ny < 1 || shape.nz < 1)
+    throw std::invalid_argument("torus extents must be positive");
+  nodes_.reserve(std::size_t(shape.size()));
+  for (int i = 0; i < shape.size(); ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, i, util::torusCoordOf(i, shape),
+                                            cfg.clientMemBytes,
+                                            cfg.countersPerClient));
+  }
+  links_.resize(std::size_t(shape.size()) * 6);
+}
+
+void Machine::setTrace(trace::ActivityTrace* t) {
+  trace_ = t;
+  if (t == nullptr) return;
+  static constexpr const char* kNames[6] = {"link.X+", "link.X-", "link.Y+",
+                                            "link.Y-", "link.Z+", "link.Z-"};
+  for (int a = 0; a < 6; ++a)
+    traceLinkUnits_[std::size_t(a)] = t->unit(kNames[a]);
+  traceKind_ = t->kind("xfer");
+}
+
+int Machine::hops(int fromNode, int toNode) const {
+  return util::torusHops(util::torusCoordOf(fromNode, shape_),
+                         util::torusCoordOf(toNode, shape_), shape_);
+}
+
+std::array<int, 3> Machine::dimOrder(const Packet& p) const {
+  if (p.inOrder || !cfg_.adaptiveRouting) return kDimPerms[0];
+  return kDimPerms[p.routeSalt % kDimPerms.size()];
+}
+
+void Machine::inject(const PacketPtr& p) {
+  if (p->payloadBytes() > kMaxPayloadBytes)
+    throw std::length_error("packet payload exceeds 256 bytes");
+  if (p->multicastPattern != kNoMulticast &&
+      (p->multicastPattern < 0 || p->multicastPattern >= kMulticastPatterns))
+    throw std::out_of_range("bad multicast pattern id");
+  p->injectedAt = sim_.now();
+  p->routeSalt = saltSeq_++;
+  ++stats_.packetsInjected;
+
+  Node& src = node(p->src.node);
+  const LatencyConfig& lat = cfg_.latency;
+  sim::Time t0 = sim_.now() + lat.assembly();
+  sim::Time start = src.reserveRing(t0, p->wireBytes());
+  int entryRouter = lat.ring.clientRouter[std::size_t(p->src.client)];
+  routeFrom(p, p->src.node, entryRouter, /*viaDim=*/-1, /*viaSign=*/0, start);
+}
+
+void Machine::routeFrom(const PacketPtr& p, int nodeIdx, int entryRouter,
+                        int viaDim, int viaSign, sim::Time t) {
+  if (p->multicastPattern != kNoMulticast) {
+    const MulticastEntry& e = node(nodeIdx).multicast(p->multicastPattern);
+    if (e.empty())
+      throw std::logic_error("multicast packet hit an empty pattern entry");
+    int branches = 0;
+    for (int c = 0; c < kClientsPerNode; ++c) {
+      if (e.clientMask & (1u << c)) {
+        deliverLocal(p, nodeIdx, entryRouter, c, t);
+        ++branches;
+      }
+    }
+    for (int a = 0; a < 6; ++a) {
+      if (e.linkMask & (1u << a)) {
+        int dim = a / 2;
+        int sign = (a % 2 == 0) ? +1 : -1;
+        forwardOnLink(p, nodeIdx, entryRouter, viaDim == dim && viaSign == sign
+                                                   ? viaDim
+                                                   : -1,
+                      dim, sign, t);
+        ++branches;
+      }
+    }
+    if (branches > 1) stats_.multicastForks += std::uint64_t(branches - 1);
+    return;
+  }
+
+  // Unicast: dimension-ordered shortest-path routing.
+  util::TorusCoord here = util::torusCoordOf(nodeIdx, shape_);
+  util::TorusCoord dest = util::torusCoordOf(p->dst.node, shape_);
+  for (int dim : dimOrder(*p)) {
+    int delta = util::signedTorusDelta(here[dim], dest[dim], shape_.extent(dim));
+    if (delta == 0) continue;
+    int sign = delta > 0 ? +1 : -1;
+    forwardOnLink(p, nodeIdx, entryRouter,
+                  (viaDim == dim && viaSign == sign) ? viaDim : -1, dim, sign, t);
+    return;
+  }
+  deliverLocal(p, nodeIdx, entryRouter, p->dst.client, t);
+}
+
+void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
+                            int straightViaDim, int dim, int sign, sim::Time t) {
+  const LatencyConfig& lat = cfg_.latency;
+  int adapterRouter =
+      lat.ring.adapterRouter[std::size_t(RingLayout::adapterIndex(dim, sign))];
+
+  // On-chip path to the exit adapter: through-traffic continuing in the same
+  // dimension uses the calibrated transit cost; everything else crosses the
+  // ring from its current position.
+  sim::Time pathCost = straightViaDim == dim
+                           ? lat.transit(dim)
+                           : lat.ringPath(entryRouter, adapterRouter);
+  sim::Time atAdapter = t + pathCost + lat.adapter();
+
+  Link& l = link(nodeIdx, dim, sign);
+  sim::Time depart = std::max(atAdapter, l.busyUntil);
+  sim::Time ser = lat.linkSerialization(p->wireBytes());
+  l.busyUntil = depart + ser;
+  ++l.traversals;
+  ++stats_.linkTraversals;
+  stats_.wireBytes += p->wireBytes();
+  if (trace_ != nullptr) {
+    trace_->record(
+        traceLinkUnits_[std::size_t(RingLayout::adapterIndex(dim, sign))],
+        traceKind_, depart, depart + std::max<sim::Time>(ser, 1));
+  }
+
+  // Wormhole switching: the head proceeds after the wire delay; the tail
+  // lags by the payload serialization of the slowest (inter-node) link,
+  // charged once.
+  if (p->tailLag == 0 && p->wireBytes() > kHeaderBytes)
+    p->tailLag = lat.linkSerialization(p->wireBytes() - kHeaderBytes);
+
+  sim::Time headArrive = depart + lat.wire(dim);
+  util::TorusCoord next =
+      torusNeighbor(util::torusCoordOf(nodeIdx, shape_), dim, sign, shape_);
+  int nextIdx = util::torusIndex(next, shape_);
+  // Arriving via the opposite adapter of the same dimension.
+  int entryAdapterRouter =
+      lat.ring.adapterRouter[std::size_t(RingLayout::adapterIndex(dim, -sign))];
+  sim::Time atRing = headArrive + lat.adapter();
+  sim_.at(atRing, [this, p, nextIdx, entryAdapterRouter, dim, sign, atRing] {
+    routeFrom(p, nextIdx, entryAdapterRouter, dim, sign, atRing);
+  });
+}
+
+void Machine::deliverLocal(const PacketPtr& p, int nodeIdx, int entryRouter,
+                           int clientId, sim::Time t) {
+  const LatencyConfig& lat = cfg_.latency;
+  int clientRouter = lat.ring.clientRouter[std::size_t(clientId)];
+  sim::Time tPath = t + lat.ringPath(entryRouter, clientRouter);
+  sim::Time start = node(nodeIdx).reserveRing(tPath, p->wireBytes());
+  sim::Time commit = start + p->tailLag;
+  sim_.at(commit, [this, p, nodeIdx, clientId] {
+    node(nodeIdx).client(clientId).deliver(p);
+    ++stats_.packetsDelivered;
+  });
+}
+
+}  // namespace anton::net

@@ -1,0 +1,135 @@
+// The Anton machine model: a 3D torus of nodes with dimension-ordered
+// shortest-path routing, lossless links with per-direction bandwidth
+// occupancy (wormhole switching), hardware multicast, and counted-write
+// delivery semantics. Latencies follow the calibrated LatencyConfig; see
+// DESIGN.md §4 for the calibration against SC10 Figs. 5/6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/torus_coord.hpp"
+
+namespace anton::trace {
+class ActivityTrace;
+}
+
+namespace anton::net {
+
+/// Structural configuration of a machine instance.
+struct MachineConfig {
+  LatencyConfig latency;
+  std::size_t clientMemBytes = 256 << 10;  ///< local memory per client
+  int countersPerClient = 256;           ///< sync counters per client
+  bool adaptiveRouting = true;  ///< permute dimension order for packets
+                                ///< without the in-order flag
+};
+
+/// Aggregate traffic statistics.
+struct MachineStats {
+  std::uint64_t packetsInjected = 0;
+  std::uint64_t packetsDelivered = 0;
+  std::uint64_t linkTraversals = 0;
+  std::uint64_t wireBytes = 0;       ///< bytes crossing inter-node links
+  std::uint64_t multicastForks = 0;  ///< replicas created by multicast fan-out
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& sim, util::TorusShape shape, MachineConfig cfg = {});
+
+  sim::Simulator& sim() { return sim_; }
+  const util::TorusShape& shape() const { return shape_; }
+  const LatencyConfig& latency() const { return cfg_.latency; }
+  const MachineConfig& config() const { return cfg_; }
+  int numNodes() const { return shape_.size(); }
+
+  Node& node(int idx) { return *nodes_.at(std::size_t(idx)); }
+  Node& node(const util::TorusCoord& c) { return node(util::torusIndex(c, shape_)); }
+  NetworkClient& client(ClientAddr a) { return node(a.node).client(a.client); }
+  ProcessingSlice& slice(int nodeIdx, int s) { return node(nodeIdx).slice(s); }
+  Htis& htis(int nodeIdx) { return node(nodeIdx).htis(); }
+  AccumulationMemory& accum(int nodeIdx, int which) {
+    return node(nodeIdx).accum(which);
+  }
+
+  /// Install a multicast fan-out entry at one node.
+  void setMulticastPattern(int nodeIdx, int pattern, MulticastEntry e) {
+    node(nodeIdx).setMulticast(pattern, e);
+  }
+
+  /// Inject a packet from p->src at the current simulated time. The pipeline
+  /// (assembly, on-chip ring, adapters, links) is scheduled as events; the
+  /// payload commits and the destination counter bumps at delivery time.
+  void inject(const PacketPtr& p);
+
+  const MachineStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  /// Traversal count of the outgoing link of `nodeIdx` in (dim, sign).
+  std::uint64_t linkTraversals(int nodeIdx, int dim, int sign) const {
+    return links_[std::size_t(nodeIdx) * 6 +
+                  std::size_t(RingLayout::adapterIndex(dim, sign))]
+        .traversals;
+  }
+
+  /// Shortest-path hop count between two nodes (all dimensions).
+  int hops(int fromNode, int toNode) const;
+
+  /// Attach an activity trace: every link traversal records its busy window
+  /// on a per-direction "link.X+/X-/.../Z-" unit (aggregated machine-wide,
+  /// like the columns of SC10 Fig. 13). Pass nullptr to detach.
+  void setTrace(trace::ActivityTrace* t);
+  trace::ActivityTrace* trace() const { return trace_; }
+
+ private:
+  friend class NetworkClient;
+
+  struct Link {
+    sim::Time busyUntil = 0;
+    std::uint64_t traversals = 0;
+  };
+  Link& link(int nodeIdx, int dim, int sign) {
+    return links_[std::size_t(nodeIdx) * 6 +
+                  std::size_t(RingLayout::adapterIndex(dim, sign))];
+  }
+
+  /// Route a packet onward from a node. `entryRouter` is where the packet
+  /// sits on the on-chip ring; `viaDim/viaSign` describe the link it arrived
+  /// on (-1 for freshly injected packets).
+  void routeFrom(const PacketPtr& p, int nodeIdx, int entryRouter, int viaDim,
+                 int viaSign, sim::Time t);
+
+  /// Send a packet out of nodeIdx on (dim, sign). `entryRouter` is its ring
+  /// position; `straightThrough` selects the calibrated transit cost instead
+  /// of the generic ring path.
+  void forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
+                     int viaDim, int dim, int sign, sim::Time t);
+
+  /// Commit delivery to a local client after the final on-chip segment.
+  void deliverLocal(const PacketPtr& p, int nodeIdx, int entryRouter,
+                    int clientId, sim::Time t);
+
+  /// Dimension traversal order for this packet (identity when in-order or
+  /// adaptive routing is disabled; a salt-derived permutation otherwise).
+  std::array<int, 3> dimOrder(const Packet& p) const;
+
+  sim::Simulator& sim_;
+  util::TorusShape shape_;
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Link> links_;
+  MachineStats stats_;
+  std::uint64_t saltSeq_ = 0;
+  trace::ActivityTrace* trace_ = nullptr;
+  std::array<int, 6> traceLinkUnits_{};
+  int traceKind_ = 0;
+};
+
+}  // namespace anton::net

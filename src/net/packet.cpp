@@ -1,0 +1,23 @@
+#include "net/packet.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace anton::net {
+
+std::shared_ptr<const std::vector<std::byte>> makePayload(const void* data,
+                                                          std::size_t size) {
+  if (size > kMaxPayloadBytes)
+    throw std::length_error("packet payload exceeds 256 bytes");
+  auto buf = std::make_shared<std::vector<std::byte>>(size);
+  if (size != 0) std::memcpy(buf->data(), data, size);
+  return buf;
+}
+
+std::shared_ptr<const std::vector<std::byte>> makeZeroPayload(std::size_t size) {
+  if (size > kMaxPayloadBytes)
+    throw std::length_error("packet payload exceeds 256 bytes");
+  return std::make_shared<std::vector<std::byte>>(size);
+}
+
+}  // namespace anton::net

@@ -1,0 +1,91 @@
+// Network packet format of the Anton communication fabric.
+//
+// Packets carry 32 bytes of header plus 0-256 bytes of payload; writes of up
+// to 8 bytes travel in the header itself (SC10 §III-A). Write and
+// accumulation packets name a synchronization counter at the destination
+// client which is incremented once the payload has been committed to the
+// client's local memory — the basis of counted remote writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace anton::net {
+
+/// Fixed per-packet header size on the wire (SC10 §III-A).
+inline constexpr std::size_t kHeaderBytes = 32;
+/// Maximum payload per packet.
+inline constexpr std::size_t kMaxPayloadBytes = 256;
+/// Payloads up to this size ride in the header (no extra wire bytes).
+inline constexpr std::size_t kImmediateBytes = 8;
+
+/// Client slots within a node: four processing slices, the HTIS, and two
+/// accumulation memories (SC10 Fig. 3: "seven local memories").
+inline constexpr int kSlice0 = 0;
+inline constexpr int kSlice1 = 1;
+inline constexpr int kSlice2 = 2;
+inline constexpr int kSlice3 = 3;
+inline constexpr int kHtis = 4;
+inline constexpr int kAccum0 = 5;
+inline constexpr int kAccum1 = 6;
+inline constexpr int kClientsPerNode = 7;
+inline constexpr int kNumSlices = 4;
+
+/// Sentinel: packet does not increment any synchronization counter.
+inline constexpr int kNoCounter = -1;
+/// Sentinel: unicast packet (no multicast pattern).
+inline constexpr int kNoMulticast = -1;
+
+/// Address of a network client: (node linear index, client slot).
+struct ClientAddr {
+  int node = 0;
+  int client = 0;
+  friend constexpr bool operator==(const ClientAddr&, const ClientAddr&) = default;
+};
+
+enum class PacketType : std::uint8_t {
+  kWrite,  ///< remote write into the target client's local memory
+  kAccum,  ///< accumulation: 4-byte-wise add into an accumulation memory
+  kFifo,   ///< delivered to the target slice's hardware message FIFO
+};
+
+/// A packet in flight. Multicast replicas share the payload buffer.
+struct Packet {
+  PacketType type = PacketType::kWrite;
+  ClientAddr src;
+  ClientAddr dst;              ///< ignored for multicast packets
+  int multicastPattern = kNoMulticast;
+  int counterId = kNoCounter;  ///< destination sync counter to increment
+  std::uint32_t address = 0;   ///< destination local-memory byte offset
+  bool inOrder = false;        ///< force deterministic (ordered) routing
+  std::shared_ptr<const std::vector<std::byte>> payload;  ///< may be null (0 B)
+
+  // --- bookkeeping filled in by the machine ---
+  sim::Time injectedAt = 0;    ///< simulated injection time
+  sim::Time tailLag = 0;       ///< serialization lag of the packet tail
+  std::uint64_t routeSalt = 0; ///< per-packet salt for adaptive dim ordering
+
+  std::size_t payloadBytes() const { return payload ? payload->size() : 0; }
+
+  /// Bytes the packet occupies on a torus link: header plus any payload that
+  /// does not fit into the header's immediate field.
+  std::size_t wireBytes() const {
+    std::size_t p = payloadBytes();
+    return kHeaderBytes + (p <= kImmediateBytes ? 0 : p);
+  }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// Convenience: build a payload buffer from raw bytes.
+std::shared_ptr<const std::vector<std::byte>> makePayload(const void* data,
+                                                          std::size_t size);
+
+/// Convenience: payload of `size` zero bytes (timing-only experiments).
+std::shared_ptr<const std::vector<std::byte>> makeZeroPayload(std::size_t size);
+
+}  // namespace anton::net

@@ -1,0 +1,56 @@
+// Join primitive for concurrent coroutine phases: spawn N subtasks on a
+// simulator, then `co_await gate.wait()` until all have signaled. Used by
+// the MD step choreography, where the bonded, range-limited, and long-range
+// phases run on different hardware units of the same node concurrently.
+#pragma once
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace anton::sim {
+
+class Gate {
+ public:
+  explicit Gate(int expected = 0) : remaining_(expected) {}
+
+  void expectMore(int n) { remaining_ += n; }
+
+  void signal() {
+    if (--remaining_ <= 0) release();
+  }
+
+  struct Waiter {
+    Gate& gate;
+    bool await_ready() const noexcept { return gate.remaining_ <= 0; }
+    void await_suspend(std::coroutine_handle<> h) { gate.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Waiter wait() { return Waiter{*this}; }
+
+  /// Wrap a task so the gate is signaled when it completes, and spawn it.
+  void spawn(Simulator& sim, Task task) {
+    expectMore(1);
+    sim.spawn(runAndSignal(std::move(task)));
+  }
+
+ private:
+  Task runAndSignal(Task inner) {
+    co_await std::move(inner);
+    signal();
+  }
+
+  void release() {
+    std::vector<std::coroutine_handle<>> ws = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : ws) h.resume();
+  }
+
+  int remaining_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace anton::sim

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// xoshiro256** seeded via SplitMix64: fast, high-quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-for-bit reproducible across
+// standard libraries, which the experiment benches rely on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace anton::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+    hasSpare_ = false;
+  }
+
+  /// Uniform 64-bit value (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + std::int64_t(below(std::uint64_t(hi - lo + 1)));
+  }
+
+  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  double normal() {
+    if (hasSpare_) {
+      hasSpare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    hasSpare_ = true;
+    return u * m;
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  bool hasSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace anton::sim

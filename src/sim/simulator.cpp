@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace anton::sim {
+
+void Simulator::at(Time t, Callback fn) {
+  if (t < now_) throw std::logic_error("Simulator::at: event scheduled in the past");
+  queue_.push(Event{t, nextSeq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task task) {
+  roots_.push_back(std::move(task));
+  roots_.back().startDetached();
+  reapRoots();
+}
+
+void Simulator::reapRoots() {
+  for (auto it = roots_.begin(); it != roots_.end();) {
+    if (it->done()) {
+      it->rethrowIfFailed();
+      it = roots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied cheaply (shared_ptr-free
+  // callbacks are moved via const_cast, a standard pattern for pop-and-run).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  reapRoots();
+  return n;
+}
+
+std::uint64_t Simulator::runUntil(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  reapRoots();
+  return n;
+}
+
+}  // namespace anton::sim

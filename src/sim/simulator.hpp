@@ -1,0 +1,90 @@
+// Discrete-event simulation kernel.
+//
+// A single min-heap of (time, sequence, callback) events; sequence numbers
+// make same-time ordering FIFO and the whole simulation deterministic.
+// Coroutine tasks (sim::Task) are spawned as detached roots and driven by
+// events that resume their handles.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace anton::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+  std::uint64_t eventsProcessed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+  /// Schedule `fn` at absolute simulated time `t` (must be >= now).
+  void at(Time t, Callback fn);
+
+  /// Schedule `fn` after a relative delay (>= 0).
+  void after(Time delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Resume a suspended coroutine after `delay`.
+  void resumeAfter(Time delay, std::coroutine_handle<> h) {
+    after(delay, [h] { h.resume(); });
+  }
+
+  /// Start a detached root task. The task frame is kept alive by the
+  /// simulator and reaped (with exception propagation) during run().
+  void spawn(Task task);
+
+  /// Run until the event queue drains. Throws any exception raised by a
+  /// root task. Returns the number of events processed by this call.
+  std::uint64_t run();
+
+  /// Run until the queue drains or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` are executed.
+  std::uint64_t runUntil(Time deadline);
+
+  /// Execute a single event if one is pending; returns false when idle.
+  bool step();
+
+  /// Awaitable for `co_await simctx.delay(...)`-style use; see delay().
+  struct DelayAwaiter {
+    Simulator& sim;
+    Time duration;
+    bool await_ready() const noexcept { return duration <= 0; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim.resumeAfter(duration, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// `co_await sim.delay(ns(36))` suspends the current task for the given
+  /// simulated duration.
+  DelayAwaiter delay(Time duration) { return DelayAwaiter{*this, duration}; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void reapRoots();
+
+  Time now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Task> roots_;
+};
+
+}  // namespace anton::sim

@@ -1,0 +1,3 @@
+#include "util/csv.hpp"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,57 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace anton::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / double(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(ss / double(xs.size() - 1)) : 0.0;
+  s.median = percentile(xs, 50.0);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double rank = std::clamp(p, 0.0, 100.0) / 100.0 * double(v.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - double(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit f;
+  std::size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return f;
+  double mx = std::accumulate(xs.begin(), xs.begin() + n, 0.0) / double(n);
+  double my = std::accumulate(ys.begin(), ys.begin() + n, 0.0) / double(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (n < 2 || sxx == 0.0) {
+    f.intercept = my;
+    f.slope = 0.0;
+    return f;
+  }
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  return f;
+}
+
+}  // namespace anton::util

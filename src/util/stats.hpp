@@ -1,0 +1,35 @@
+// Small descriptive-statistics helpers for benchmark post-processing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace anton::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double median = 0.0;
+};
+
+/// Compute summary statistics. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation between ranks.
+/// Empty input returns 0.
+double percentile(std::span<const double> xs, double p);
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b}. Requires >= 2
+/// points with non-degenerate x; degenerate input returns {mean(y), 0}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace anton::util

@@ -1,0 +1,31 @@
+// Fixed-width console table printer. Experiment benches use this to print
+// paper-value vs. measured-value rows in a readable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace anton::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Column headers define the column count; extra row cells are dropped,
+  /// missing cells render empty.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render to a stream with a header underline and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anton::util

@@ -1,0 +1,27 @@
+#include "util/torus_coord.hpp"
+
+#include <sstream>
+
+namespace anton::util {
+
+std::string TorusShape::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::string TorusCoord::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TorusCoord& c) {
+  return os << '(' << c.x << ',' << c.y << ',' << c.z << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const TorusShape& s) {
+  return os << s.nx << 'x' << s.ny << 'x' << s.nz;
+}
+
+}  // namespace anton::util

@@ -1,0 +1,94 @@
+// Cartesian coordinates and distance math on a 3D torus (wrap-around mesh).
+//
+// Anton identifies nodes by their (x, y, z) coordinates within the torus and
+// routes along the shortest path independently in each dimension. This header
+// provides the coordinate arithmetic shared by the network model, the MD
+// domain decomposition, and the collective algorithms.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+namespace anton::util {
+
+/// Extents of a 3D torus, e.g. {8, 8, 8} for a 512-node Anton machine.
+struct TorusShape {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+
+  constexpr int size() const { return nx * ny * nz; }
+  constexpr int extent(int dim) const { return dim == 0 ? nx : dim == 1 ? ny : nz; }
+  friend constexpr bool operator==(const TorusShape&, const TorusShape&) = default;
+  std::string str() const;
+};
+
+/// A node coordinate within a torus. Always kept in canonical range
+/// [0, extent) per dimension by the factory functions below.
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr int operator[](int dim) const { return dim == 0 ? x : dim == 1 ? y : z; }
+  constexpr int& operator[](int dim) { return dim == 0 ? x : dim == 1 ? y : z; }
+  friend constexpr auto operator<=>(const TorusCoord&, const TorusCoord&) = default;
+  std::string str() const;
+};
+
+/// Canonical (non-negative) modulus.
+constexpr int wrap(int v, int extent) {
+  int m = v % extent;
+  return m < 0 ? m + extent : m;
+}
+
+/// Signed shortest displacement from `a` to `b` along one dimension of a
+/// torus with the given extent. Result lies in (-extent/2, extent/2]; ties
+/// (exactly half-way) are broken toward the positive direction, matching the
+/// deterministic shortest-path routing of the network model.
+constexpr int signedTorusDelta(int a, int b, int extent) {
+  int d = wrap(b - a, extent);
+  if (2 * d > extent) d -= extent;
+  return d;
+}
+
+/// Hop distance between two coordinates along one dimension.
+constexpr int torusHops1D(int a, int b, int extent) {
+  return std::abs(signedTorusDelta(a, b, extent));
+}
+
+/// Total (Manhattan) hop distance on the torus; Anton routes dimension-ordered
+/// shortest paths, so this is the exact number of inter-node link traversals.
+constexpr int torusHops(const TorusCoord& a, const TorusCoord& b, const TorusShape& s) {
+  return torusHops1D(a.x, b.x, s.nx) + torusHops1D(a.y, b.y, s.ny) +
+         torusHops1D(a.z, b.z, s.nz);
+}
+
+/// Linearize a coordinate (x fastest) for array indexing.
+constexpr int torusIndex(const TorusCoord& c, const TorusShape& s) {
+  return c.x + s.nx * (c.y + s.ny * c.z);
+}
+
+/// Inverse of torusIndex.
+constexpr TorusCoord torusCoordOf(int index, const TorusShape& s) {
+  TorusCoord c;
+  c.x = index % s.nx;
+  c.y = (index / s.nx) % s.ny;
+  c.z = index / (s.nx * s.ny);
+  return c;
+}
+
+/// Neighbor in direction dim (0=x,1=y,2=z), sign ±1, with wraparound.
+constexpr TorusCoord torusNeighbor(TorusCoord c, int dim, int sign, const TorusShape& s) {
+  c[dim] = wrap(c[dim] + sign, s.extent(dim));
+  return c;
+}
+
+std::ostream& operator<<(std::ostream& os, const TorusCoord& c);
+std::ostream& operator<<(std::ostream& os, const TorusShape& s);
+
+}  // namespace anton::util

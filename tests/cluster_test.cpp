@@ -1,0 +1,224 @@
+// LogGP cluster baseline: point-to-point semantics and timing, collectives,
+// and the Desmond model's calibration envelope.
+#include <gtest/gtest.h>
+
+#include "cluster/collectives.hpp"
+#include "cluster/desmond.hpp"
+#include "cluster/network.hpp"
+
+namespace anton::cluster {
+namespace {
+
+using sim::Task;
+using sim::toUs;
+
+struct Fixture {
+  sim::Simulator sim;
+  ClusterMachine machine;
+  explicit Fixture(int nodes = 8, LogGPParams p = {})
+      : machine(sim, nodes, p) {}
+};
+
+TEST(Cluster, PingPongLatencyMatchesParams) {
+  Fixture f(2);
+  double arrived = -1;
+  auto receiver = [](Fixture& fx, double& out) -> Task {
+    co_await fx.machine.recv(1, 0, 7);
+    out = toUs(fx.sim.now());
+  };
+  auto sender = [](Fixture& fx) -> Task {
+    co_await fx.machine.send(0, 1, 7, 32);
+  };
+  f.sim.spawn(receiver(f, arrived));
+  f.sim.spawn(sender(f));
+  f.sim.run();
+  // o_s + L + bytes*G + o_r, small message: ~2.16 us (paper Table 1 regime).
+  double expect = f.machine.params().pingPongUs() + 32 * 0.00065;
+  EXPECT_NEAR(arrived, expect, 1e-9);
+  EXPECT_GT(arrived, 2.0);
+  EXPECT_LT(arrived, 2.4);
+}
+
+TEST(Cluster, MessageRateLimitedByGap) {
+  // 64 back-to-back small sends: NIC gap g dominates; total ~ 64*g + L.
+  Fixture f(2);
+  double done = -1;
+  auto receiver = [](Fixture& fx, double& out) -> Task {
+    for (int i = 0; i < 64; ++i) co_await fx.machine.recv(1, 0, 1);
+    out = toUs(fx.sim.now());
+  };
+  auto sender = [](Fixture& fx) -> Task {
+    for (int i = 0; i < 64; ++i) co_await fx.machine.send(0, 1, 1, 32);
+  };
+  f.sim.spawn(receiver(f, done));
+  f.sim.spawn(sender(f));
+  f.sim.run();
+  EXPECT_GT(done, 30.0);  // ~64 * 0.55 = 35 us >> single-message latency
+  EXPECT_LT(done, 45.0);
+}
+
+TEST(Cluster, LargeMessagePaysBandwidth) {
+  Fixture f(2);
+  double done = -1;
+  auto receiver = [](Fixture& fx, double& out) -> Task {
+    co_await fx.machine.recv(1, 0, 1);
+    out = toUs(fx.sim.now());
+  };
+  auto sender = [](Fixture& fx) -> Task { co_await fx.machine.send(0, 1, 1, 2048); };
+  f.sim.spawn(receiver(f, done));
+  f.sim.spawn(sender(f));
+  f.sim.run();
+  double expect = f.machine.params().pingPongUs() + 2048 * 0.00065;
+  EXPECT_NEAR(done, expect, 1e-9);
+}
+
+TEST(Cluster, TagAndSourceMatching) {
+  Fixture f(3);
+  std::vector<int> order;
+  auto receiver = [](Fixture& fx, std::vector<int>& ord) -> Task {
+    ClusterMachine::Message a = co_await fx.machine.recv(2, 1, 5);
+    ord.push_back(a.src * 10 + a.tag);
+    ClusterMachine::Message b = co_await fx.machine.recv(2, 0, 5);
+    ord.push_back(b.src * 10 + b.tag);
+    ClusterMachine::Message c =
+        co_await fx.machine.recv(2, ClusterMachine::kAnySource, 9);
+    ord.push_back(c.src * 10 + c.tag);
+  };
+  auto senders = [](Fixture& fx) -> Task {
+    co_await fx.machine.send(0, 2, 5, 8);
+    co_await fx.machine.send(0, 2, 9, 8);
+  };
+  auto sender1 = [](Fixture& fx) -> Task { co_await fx.machine.send(1, 2, 5, 8); };
+  f.sim.spawn(receiver(f, order));
+  f.sim.spawn(senders(f));
+  f.sim.spawn(sender1(f));
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{15, 5, 9}));
+}
+
+TEST(Cluster, PayloadDataTravels) {
+  Fixture f(2);
+  double got = 0;
+  auto receiver = [](Fixture& fx, double& out) -> Task {
+    ClusterMachine::Message m = co_await fx.machine.recv(1, 0, 3);
+    out = (*m.data)[1];
+  };
+  auto sender = [](Fixture& fx) -> Task {
+    auto data = std::make_shared<const std::vector<double>>(
+        std::vector<double>{1.5, 2.5});
+    co_await fx.machine.send(0, 1, 3, 16, data);
+  };
+  f.sim.spawn(receiver(f, got));
+  f.sim.spawn(sender(f));
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(got, 2.5);
+}
+
+TEST(Collectives, AllReduceSums) {
+  Fixture f(16);
+  std::vector<std::vector<double>> results(16);
+  auto task = [&](int n) -> Task {
+    std::vector<double> in(2);
+    in[0] = double(n);
+    in[1] = 1.0;
+    co_await allReduce(f.machine, n, std::move(in), &results[std::size_t(n)]);
+  };
+  for (int n = 0; n < 16; ++n) f.sim.spawn(task(n));
+  f.sim.run();
+  for (int n = 0; n < 16; ++n) {
+    ASSERT_EQ(results[std::size_t(n)].size(), 2u);
+    EXPECT_DOUBLE_EQ(results[std::size_t(n)][0], 120.0);
+    EXPECT_DOUBLE_EQ(results[std::size_t(n)][1], 16.0);
+    EXPECT_EQ(results[std::size_t(n)][0], results[0][0]);  // identical bits
+  }
+}
+
+TEST(Collectives, AllReduce512NodeLatencyNear35us) {
+  // §IV-B4: the same 32-byte reduction Anton does in 1.77 us took 35.5 us on
+  // the 512-node InfiniBand cluster.
+  sim::Simulator sim;
+  ClusterMachine m(sim, 512);
+  auto task = [&](int n) -> Task {
+    co_await allReduce(m, n, std::vector<double>(4, 1.0), nullptr);
+  };
+  for (int n = 0; n < 512; ++n) sim.spawn(task(n));
+  sim.run();
+  double us = toUs(sim.now());
+  EXPECT_GT(us, 25.0);
+  EXPECT_LT(us, 45.0);
+}
+
+TEST(Collectives, AllReduceNonPowerOfTwoThrows) {
+  Fixture f(6);
+  auto task = [&]() -> Task {
+    std::vector<double> in(1, 1.0);
+    co_await allReduce(f.machine, 0, std::move(in), nullptr);
+  };
+  // The throw happens on the task's first resume, i.e. inside spawn.
+  EXPECT_THROW(
+      {
+        f.sim.spawn(task());
+        f.sim.run();
+      },
+      std::invalid_argument);
+}
+
+TEST(Collectives, StagedExchangeDelivers26NeighborBytes) {
+  sim::Simulator sim;
+  ClusterMachine m(sim, 64);
+  util::TorusShape shape{4, 4, 4};
+  std::vector<std::size_t> got(64, 0);
+  auto task = [&](int n) -> Task {
+    co_await stagedNeighborExchange(m, shape, n, 100, &got[std::size_t(n)]);
+  };
+  for (int n = 0; n < 64; ++n) sim.spawn(task(n));
+  sim.run();
+  // 2 + 2*3 + 2*9 = 26 slabs of 100 bytes.
+  for (int n = 0; n < 64; ++n) EXPECT_EQ(got[std::size_t(n)], 2600u);
+  // 6 messages per node (Fig. 8a), not 26.
+  EXPECT_EQ(m.messagesSent(), 64u * 6u);
+}
+
+TEST(Collectives, AllToAllCompletes) {
+  sim::Simulator sim;
+  ClusterMachine m(sim, 8);
+  std::vector<int> group = {0, 1, 2, 3, 4, 5, 6, 7};
+  int done = 0;
+  auto task = [&](int i) -> Task {
+    co_await allToAll(m, group, i, 256);
+    ++done;
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(task(i));
+  sim.run();
+  EXPECT_EQ(done, 8);
+  EXPECT_EQ(m.messagesSent(), 8u * 7u);
+}
+
+TEST(Desmond, Table3Envelope) {
+  // The model should land in the regime of Table 3's Desmond column:
+  // RL ~108 us, FFT ~230 us, thermostat ~78 us, LR ~416 us, average ~262 us.
+  DesmondTimes t = measureDesmond({});
+  EXPECT_GT(t.rangeLimitedUs, 50);
+  EXPECT_LT(t.rangeLimitedUs, 220);
+  EXPECT_GT(t.fftUs, 120);
+  EXPECT_LT(t.fftUs, 460);
+  EXPECT_GT(t.thermostatUs, 40);
+  EXPECT_LT(t.thermostatUs, 160);
+  EXPECT_NEAR(t.longRangeUs,
+              t.rangeLimitedUs * 1.5 + t.fftUs + t.thermostatUs, 1.0);
+  EXPECT_NEAR(t.averageUs, 0.5 * (t.rangeLimitedUs + t.longRangeUs), 1e-9);
+  // The headline: two orders of magnitude above Anton's ~10 us.
+  EXPECT_GT(t.averageUs, 150);
+}
+
+TEST(Desmond, ScalesWithImbalance) {
+  DesmondWorkload light;
+  light.imbalanceFactor = 1.0;
+  DesmondWorkload heavy;
+  heavy.imbalanceFactor = 3.0;
+  EXPECT_LT(measureDesmond(light).rangeLimitedUs,
+            measureDesmond(heavy).rangeLimitedUs);
+}
+
+}  // namespace
+}  // namespace anton::cluster

@@ -1,0 +1,95 @@
+// Reference-engine physics: NVE energy conservation, momentum conservation,
+// thermostat behavior, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/engine.hpp"
+
+namespace anton::md {
+namespace {
+
+MDSystem tinySystem(int atoms) {
+  SyntheticSystemParams p;
+  p.targetAtoms = atoms;
+  p.temperature = 0.8;
+  p.seed = 42;
+  return buildSyntheticSystem(p);
+}
+
+EngineParams stableParams() {
+  EngineParams p;
+  p.dt = 0.001;
+  p.ewald.grid = 16;
+  p.force.cutoff = 2.5;
+  return p;
+}
+
+TEST(Engine, NveEnergyIsConserved) {
+  ReferenceEngine eng(tinySystem(300), stableParams());
+  double e0 = eng.energies().total();
+  eng.run(100);
+  double e1 = eng.energies().total();
+  // Velocity Verlet: relative drift small over 100 steps at dt = 0.001.
+  EXPECT_NEAR(e1, e0, 0.02 * std::abs(e0) + 0.5);
+}
+
+TEST(Engine, NveMomentumIsConserved) {
+  ReferenceEngine eng(tinySystem(300), stableParams());
+  eng.run(50);
+  // Mesh-Ewald interpolation injects a tiny momentum error per step.
+  EXPECT_NEAR(eng.system().totalMomentum().norm(), 0.0, 0.05);
+}
+
+TEST(Engine, ThermostatDrivesTemperatureToTarget) {
+  EngineParams p = stableParams();
+  p.thermostatTau = 0.02;
+  p.targetTemperature = 1.4;
+  p.thermostatInterval = 2;
+  ReferenceEngine eng(tinySystem(300), p);
+  eng.run(300);
+  EXPECT_NEAR(eng.system().temperature(), 1.4, 0.2);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  ReferenceEngine a(tinySystem(150), stableParams());
+  ReferenceEngine b(tinySystem(150), stableParams());
+  a.run(20);
+  b.run(20);
+  for (int i = 0; i < a.system().numAtoms(); ++i) {
+    EXPECT_EQ(a.system().positions[std::size_t(i)],
+              b.system().positions[std::size_t(i)]);
+  }
+  EXPECT_EQ(a.energies().total(), b.energies().total());
+}
+
+TEST(Engine, LongRangeChangesForces) {
+  MDSystem sys = tinySystem(200);
+  EngineParams with = stableParams();
+  EngineParams without = stableParams();
+  without.longRange = false;
+  ReferenceEngine a(sys, with), b(sys, without);
+  double diff = 0;
+  for (int i = 0; i < sys.numAtoms(); ++i)
+    diff += (a.forces()[std::size_t(i)] - b.forces()[std::size_t(i)]).norm();
+  EXPECT_GT(diff, 1e-3);
+  EXPECT_NE(a.energies().longRange, 0.0);
+  EXPECT_EQ(b.energies().longRange, 0.0);
+}
+
+TEST(Engine, PositionsStayWrapped) {
+  ReferenceEngine eng(tinySystem(100), stableParams());
+  eng.run(30);
+  const MDSystem& s = eng.system();
+  for (const auto& p : s.positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, s.box.x);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, s.box.y);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, s.box.z);
+  }
+}
+
+}  // namespace
+}  // namespace anton::md

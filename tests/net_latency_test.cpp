@@ -1,0 +1,224 @@
+// Latency-model tests: the network must reproduce the calibrated SC10
+// numbers exactly — 162 ns neighbor-X end-to-end, 76 ns per additional X
+// hop, 54 ns per Y/Z hop, and the Fig. 6 component breakdown.
+#include <gtest/gtest.h>
+
+#include "net/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace anton::net {
+namespace {
+
+using sim::Task;
+using sim::toNs;
+using util::TorusCoord;
+using util::TorusShape;
+
+struct Fixture {
+  sim::Simulator sim;
+  Machine machine;
+  explicit Fixture(TorusShape shape, MachineConfig cfg = {})
+      : machine(sim, shape, cfg) {}
+};
+
+// One-way software-to-software latency: source posts at t, receiver task
+// polls counter 0 for one more arrival; latency is poll-success time - t.
+double oneWayNs(Fixture& f, ClientAddr src, ClientAddr dst,
+                std::size_t payloadBytes, bool inOrder = false) {
+  double doneNs = -1.0;
+  auto receiver = [](Fixture& fx, ClientAddr d, double& out) -> Task {
+    NetworkClient& c = fx.machine.client(d);
+    co_await c.waitCounter(0, c.counterValue(0) + 1);
+    out = toNs(fx.sim.now());
+  };
+  f.sim.spawn(receiver(f, dst, doneNs));
+  double startNs = toNs(f.sim.now());
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  args.inOrder = inOrder;
+  if (payloadBytes != 0) args.payload = makeZeroPayload(payloadBytes);
+  f.machine.client(src).post(args);
+  f.sim.run();
+  EXPECT_GE(doneNs, 0.0) << "message never arrived";
+  return doneNs - startNs;
+}
+
+int nodeAt(Fixture& f, int x, int y, int z) {
+  return util::torusIndex({x, y, z}, f.machine.shape());
+}
+
+TEST(Latency, NeighborXIs162ns) {
+  Fixture f({8, 8, 8});
+  double ns = oneWayNs(f, {nodeAt(f, 0, 0, 0), kSlice0},
+                       {nodeAt(f, 1, 0, 0), kSlice0}, 0);
+  EXPECT_DOUBLE_EQ(ns, 162.0);
+}
+
+TEST(Latency, NeighborXNegativeDirectionAlso162ns) {
+  Fixture f({8, 8, 8});
+  double ns = oneWayNs(f, {nodeAt(f, 0, 0, 0), kSlice0},
+                       {nodeAt(f, 7, 0, 0), kSlice0}, 0);
+  EXPECT_DOUBLE_EQ(ns, 162.0);
+}
+
+TEST(Latency, PerHopX76ns) {
+  Fixture f({8, 8, 8});
+  double prev = 0;
+  for (int h = 1; h <= 4; ++h) {
+    Fixture g({8, 8, 8});
+    double ns = oneWayNs(g, {nodeAt(g, 0, 0, 0), kSlice0},
+                         {nodeAt(g, h, 0, 0), kSlice0}, 0);
+    if (h == 1) {
+      EXPECT_DOUBLE_EQ(ns, 162.0);
+    } else {
+      EXPECT_DOUBLE_EQ(ns - prev, 76.0) << "at hop " << h;
+    }
+    prev = ns;
+  }
+}
+
+TEST(Latency, PerHopYandZRoughly54ns) {
+  // Additional Y (or Z) hops on an existing Y (or Z) path cost exactly the
+  // calibrated 54 ns transit.
+  for (int dim = 1; dim <= 2; ++dim) {
+    double prev = 0;
+    for (int h = 1; h <= 4; ++h) {
+      Fixture g({8, 8, 8});
+      TorusCoord c{0, 0, 0};
+      c[dim] = h;
+      double ns = oneWayNs(g, {nodeAt(g, 0, 0, 0), kSlice0},
+                           {util::torusIndex(c, g.machine.shape()), kSlice0}, 0);
+      if (h > 1) EXPECT_DOUBLE_EQ(ns - prev, 54.0) << "dim " << dim << " hop " << h;
+      prev = ns;
+    }
+  }
+}
+
+TEST(Latency, TwelveHopDiagonalMatchesPiecewiseModel) {
+  // Max-distance path in an 8x8x8 machine: 4 hops in each dimension.
+  Fixture f({8, 8, 8});
+  double ns = oneWayNs(f, {nodeAt(f, 0, 0, 0), kSlice0},
+                       {nodeAt(f, 4, 4, 4), kSlice0}, 0, /*inOrder=*/true);
+  // exit X (36+19+20) + 3 X transits + corner X->Y (20+25+20) + 3 Y transits
+  // + corner Y->Z (20+19+20) + 3 Z transits + entry Z (20+31+42)
+  double expect = 75 + 3 * 76 + 65 + 3 * 54 + 59 + 3 * 54 + 93;
+  EXPECT_DOUBLE_EQ(ns, expect);
+  // The paper reports the 12-hop latency is roughly 5x the 1-hop latency.
+  EXPECT_NEAR(ns / 162.0, 5.0, 0.6);
+}
+
+TEST(Latency, SameNodeSliceToSlice) {
+  // Zero-hop messages: assembly + one-router ring path + poll.
+  Fixture f({4, 4, 4});
+  double ns = oneWayNs(f, {0, kSlice0}, {0, kSlice1}, 0);
+  EXPECT_DOUBLE_EQ(ns, 36.0 + 13.0 + 42.0);
+}
+
+TEST(Latency, PayloadAddsSerializationOnce) {
+  // Wormhole switching: a 256 B payload adds its link serialization once,
+  // independent of hop count.
+  for (int h : {1, 4}) {
+    Fixture a({8, 8, 8}), b({8, 8, 8});
+    double zero = oneWayNs(a, {0, kSlice0}, {nodeAt(a, h, 0, 0), kSlice0}, 0);
+    double big = oneWayNs(b, {0, kSlice0}, {nodeAt(b, h, 0, 0), kSlice0}, 256);
+    EXPECT_NEAR(big - zero, 256.0 / 4.6, 0.01) << "hops " << h;
+  }
+}
+
+TEST(Latency, ImmediatePayloadAddsNothing) {
+  // Payloads up to 8 bytes travel in the header: same latency as 0 B.
+  Fixture a({4, 4, 4}), b({4, 4, 4});
+  double zero = oneWayNs(a, {0, kSlice0}, {nodeAt(a, 1, 0, 0), kSlice0}, 0);
+  double eight = oneWayNs(b, {0, kSlice0}, {nodeAt(b, 1, 0, 0), kSlice0}, 8);
+  EXPECT_DOUBLE_EQ(zero, eight);
+}
+
+TEST(Latency, HtisAndAccumEndpoints) {
+  // Messages to the HTIS and to accumulation memories use their ring
+  // positions; accumulation-memory counters cost more to poll.
+  Fixture f({4, 4, 4});
+  double toHtis = oneWayNs(f, {0, kSlice0}, {nodeAt(f, 1, 0, 0), kHtis}, 0);
+  // entry X- (R4) -> HTIS (R2): 3 routers = 25 -> same as slice path.
+  EXPECT_DOUBLE_EQ(toHtis, 162.0);
+
+  Fixture g({4, 4, 4});
+  double toAccum = oneWayNs(g, {0, kSlice0}, {nodeAt(g, 1, 0, 0), kAccum0}, 0);
+  // entry X- (R4) -> accum (R5): 2 routers = 19; accum poll = 150 ns.
+  EXPECT_DOUBLE_EQ(toAccum, 36 + 19 + 20 + 20 + 19 + 150);
+}
+
+TEST(Latency, LinkContentionSerializesPackets) {
+  // Two max-size packets injected back-to-back on the same link: the second
+  // is delayed by the first's serialization.
+  Fixture f({4, 4, 4});
+  ClientAddr dst{nodeAt(f, 1, 0, 0), kSlice0};
+  double doneNs = -1;
+  auto receiver = [](Fixture& fx, ClientAddr d, double& out) -> Task {
+    NetworkClient& c = fx.machine.client(d);
+    co_await c.waitCounter(0, 2);
+    out = toNs(fx.sim.now());
+  };
+  f.sim.spawn(receiver(f, dst, doneNs));
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  args.payload = makeZeroPayload(256);
+  f.machine.client({0, kSlice0}).post(args);
+  args.address = 256;
+  f.machine.client({0, kSlice1}).post(args);
+  f.sim.run();
+  // Single-packet latency is 162 + 256/4.6; the second packet waits for the
+  // first's full wire serialization (288 B) on the link.
+  double single = 162.0 + 256.0 / 4.6;
+  EXPECT_GT(doneNs, single + 50.0);
+}
+
+TEST(Latency, AdaptiveRoutingSpreadsCornerTraffic) {
+  // Without the in-order flag, packets to a 2-dimension-away destination
+  // take different dimension orders (different corner links).
+  MachineConfig cfg;
+  cfg.adaptiveRouting = true;
+  Fixture f({4, 4, 4}, cfg);
+  ClientAddr dst{nodeAt(f, 1, 1, 0), kSlice0};
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  for (int i = 0; i < 12; ++i) f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+  // Both the X-first and the Y-first exit links of node 0 must be used.
+  EXPECT_GT(f.machine.linkTraversals(0, 0, +1), 0u);
+  EXPECT_GT(f.machine.linkTraversals(0, 1, +1), 0u);
+}
+
+TEST(Latency, InOrderRoutingIsDeterministic) {
+  MachineConfig cfg;
+  cfg.adaptiveRouting = true;
+  Fixture f({4, 4, 4}, cfg);
+  ClientAddr dst{nodeAt(f, 1, 1, 0), kSlice0};
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  args.inOrder = true;
+  for (int i = 0; i < 12; ++i) f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+  // Dimension order is fixed X->Y: only the X link leaves node 0.
+  EXPECT_EQ(f.machine.linkTraversals(0, 0, +1), 12u);
+  EXPECT_EQ(f.machine.linkTraversals(0, 1, +1), 0u);
+}
+
+TEST(Latency, StatsCountTraffic) {
+  Fixture f({4, 4, 4});
+  NetworkClient::SendArgs args;
+  args.dst = {nodeAt(f, 2, 0, 0), kSlice0};
+  args.counterId = 0;
+  f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+  EXPECT_EQ(f.machine.stats().packetsInjected, 1u);
+  EXPECT_EQ(f.machine.stats().packetsDelivered, 1u);
+  EXPECT_EQ(f.machine.stats().linkTraversals, 2u);
+  EXPECT_EQ(f.machine.stats().wireBytes, 2u * kHeaderBytes);
+}
+
+}  // namespace
+}  // namespace anton::net

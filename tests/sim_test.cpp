@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace anton::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(ns(1.0), 1000);
+  EXPECT_EQ(ns(0.5), 500);
+  EXPECT_EQ(us(1.0), 1000000);
+  EXPECT_DOUBLE_EQ(toNs(1500), 1.5);
+  EXPECT_DOUBLE_EQ(toUs(2500000), 2.5);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(ns(30), [&] { order.push_back(3); });
+  sim.at(ns(10), [&] { order.push_back(1); });
+  sim.at(ns(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ns(30));
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(ns(5), [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(ns(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(ns(5), [] {}), std::logic_error);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(ns(1), [&] {
+    sim.after(ns(1), [&] {
+      sim.after(ns(1), [&] { ++fired; });
+      ++fired;
+    });
+    ++fired;
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), ns(3));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(ns(10), [&] { ++fired; });
+  sim.at(ns(20), [&] { ++fired; });
+  sim.at(ns(30), [&] { ++fired; });
+  sim.runUntil(ns(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), ns(20));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.runUntil(ns(100));
+  EXPECT_EQ(sim.now(), ns(100));
+}
+
+Task delayTwice(Simulator& sim, std::vector<double>& marks) {
+  co_await sim.delay(ns(10));
+  marks.push_back(toNs(sim.now()));
+  co_await sim.delay(ns(5));
+  marks.push_back(toNs(sim.now()));
+}
+
+TEST(Task, DelaysAdvanceSimTime) {
+  Simulator sim;
+  std::vector<double> marks;
+  sim.spawn(delayTwice(sim, marks));
+  sim.run();
+  EXPECT_EQ(marks, (std::vector<double>{10.0, 15.0}));
+}
+
+Task child(Simulator& sim, int& state) {
+  co_await sim.delay(ns(7));
+  state = 42;
+}
+
+Task parent(Simulator& sim, int& state, double& doneAt) {
+  co_await child(sim, state);
+  doneAt = toNs(sim.now());
+}
+
+TEST(Task, AwaitingSubtaskRunsItToCompletion) {
+  Simulator sim;
+  int state = 0;
+  double doneAt = -1;
+  sim.spawn(parent(sim, state, doneAt));
+  sim.run();
+  EXPECT_EQ(state, 42);
+  EXPECT_DOUBLE_EQ(doneAt, 7.0);
+}
+
+Task thrower(Simulator& sim) {
+  co_await sim.delay(ns(1));
+  throw std::runtime_error("boom");
+}
+
+TEST(Task, DetachedExceptionPropagatesFromRun) {
+  Simulator sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task catching(Simulator& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, AwaitedExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(catching(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, ManyConcurrentTasks) {
+  Simulator sim;
+  int done = 0;
+  auto worker = [](Simulator& s, int delayNs, int& d) -> Task {
+    co_await s.delay(ns(delayNs));
+    ++d;
+  };
+  for (int i = 0; i < 1000; ++i) sim.spawn(worker(sim, i % 17 + 1, done));
+  sim.run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = r.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace anton::sim

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "trace/activity.hpp"
+
+namespace anton::trace {
+namespace {
+
+using sim::ns;
+
+TEST(Trace, UnitAndKindRegistrationIsIdempotent) {
+  ActivityTrace t;
+  int a = t.unit("TS");
+  int b = t.unit("GC");
+  EXPECT_EQ(t.unit("TS"), a);
+  EXPECT_NE(a, b);
+  int k = t.kind("fft");
+  EXPECT_EQ(t.kind("fft"), k);
+  EXPECT_EQ(t.unitNames().size(), 2u);
+  EXPECT_EQ(t.kindNames().size(), 1u);
+}
+
+TEST(Trace, BusyTimeClipsToWindow) {
+  ActivityTrace t;
+  int u = t.unit("TS");
+  int k = t.kind("bonded");
+  t.record(u, k, ns(10), ns(30));
+  EXPECT_EQ(t.busyTime(u, k, ns(0), ns(100)), ns(20));
+  EXPECT_EQ(t.busyTime(u, k, ns(15), ns(25)), ns(10));
+  EXPECT_EQ(t.busyTime(u, k, ns(40), ns(50)), 0);
+  EXPECT_EQ(t.busyTime(u, ns(0), ns(20)), ns(10));
+}
+
+TEST(Trace, ZeroLengthIntervalsDropped) {
+  ActivityTrace t;
+  t.record(t.unit("TS"), t.kind("x"), ns(5), ns(5));
+  t.record(t.unit("TS"), t.kind("x"), ns(9), ns(4));
+  EXPECT_TRUE(t.intervals().empty());
+}
+
+TEST(Trace, DisableSuppressesRecording) {
+  ActivityTrace t;
+  t.setEnabled(false);
+  t.record(t.unit("TS"), t.kind("x"), ns(0), ns(10));
+  EXPECT_TRUE(t.intervals().empty());
+  t.setEnabled(true);
+  t.record(t.unit("TS"), t.kind("x"), ns(0), ns(10));
+  EXPECT_EQ(t.intervals().size(), 1u);
+}
+
+TEST(Trace, CsvContainsRows) {
+  ActivityTrace t;
+  t.record("GC", "range-limited", ns(100), ns(250));
+  std::string csv = t.csv();
+  EXPECT_NE(csv.find("unit,kind,start_ns,end_ns"), std::string::npos);
+  EXPECT_NE(csv.find("GC,range-limited,100,250"), std::string::npos);
+}
+
+TEST(Trace, TimelineShowsDominantKind) {
+  ActivityTrace t;
+  t.record("TS", "send", ns(0), ns(50));
+  t.record("TS", "wait", ns(50), ns(100));
+  std::string tl = t.timeline(0, ns(100), 10);
+  // First half 's', second half 'w'.
+  EXPECT_NE(tl.find("sssss"), std::string::npos);
+  EXPECT_NE(tl.find("wwwww"), std::string::npos);
+  EXPECT_NE(tl.find("legend:"), std::string::npos);
+}
+
+TEST(Trace, TimelineIdleIsDots) {
+  ActivityTrace t;
+  t.unit("GC");
+  std::string tl = t.timeline(0, ns(100), 8);
+  EXPECT_NE(tl.find("........"), std::string::npos);
+}
+
+TEST(Trace, ScopedActivityRecordsOnce) {
+  ActivityTrace t;
+  int u = t.unit("TS");
+  int k = t.kind("fft");
+  ScopedActivity s(t, ns(10), u, k);
+  s.finish(ns(35));
+  s.finish(ns(99));  // idempotent
+  ASSERT_EQ(t.intervals().size(), 1u);
+  EXPECT_EQ(t.intervals()[0].end, ns(35));
+}
+
+}  // namespace
+}  // namespace anton::trace
