@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_latency_vs_hops"
+  "../bench/fig05_latency_vs_hops.pdb"
+  "CMakeFiles/fig05_latency_vs_hops.dir/fig05_latency_vs_hops.cpp.o"
+  "CMakeFiles/fig05_latency_vs_hops.dir/fig05_latency_vs_hops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_latency_vs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_message_granularity"
+  "../bench/fig07_message_granularity.pdb"
+  "CMakeFiles/fig07_message_granularity.dir/fig07_message_granularity.cpp.o"
+  "CMakeFiles/fig07_message_granularity.dir/fig07_message_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_message_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_bond_regen"
+  "../bench/fig11_bond_regen.pdb"
+  "CMakeFiles/fig11_bond_regen.dir/fig11_bond_regen.cpp.o"
+  "CMakeFiles/fig11_bond_regen.dir/fig11_bond_regen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bond_regen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_activity_trace"
+  "../bench/fig13_activity_trace.pdb"
+  "CMakeFiles/fig13_activity_trace.dir/fig13_activity_trace.cpp.o"
+  "CMakeFiles/fig13_activity_trace.dir/fig13_activity_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_activity_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_latency_survey"
+  "../bench/table1_latency_survey.pdb"
+  "CMakeFiles/table1_latency_survey.dir/table1_latency_survey.cpp.o"
+  "CMakeFiles/table1_latency_survey.dir/table1_latency_survey.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_latency_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

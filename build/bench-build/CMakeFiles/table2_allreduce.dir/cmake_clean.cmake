@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_allreduce"
+  "../bench/table2_allreduce.pdb"
+  "CMakeFiles/table2_allreduce.dir/table2_allreduce.cpp.o"
+  "CMakeFiles/table2_allreduce.dir/table2_allreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

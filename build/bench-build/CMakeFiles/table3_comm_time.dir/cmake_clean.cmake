@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_comm_time"
+  "../bench/table3_comm_time.pdb"
+  "CMakeFiles/table3_comm_time.dir/table3_comm_time.cpp.o"
+  "CMakeFiles/table3_comm_time.dir/table3_comm_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_comm_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

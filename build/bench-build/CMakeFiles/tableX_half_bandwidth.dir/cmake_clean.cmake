@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tableX_half_bandwidth"
+  "../bench/tableX_half_bandwidth.pdb"
+  "CMakeFiles/tableX_half_bandwidth.dir/tableX_half_bandwidth.cpp.o"
+  "CMakeFiles/tableX_half_bandwidth.dir/tableX_half_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableX_half_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fft3d_demo.cpp" "examples/CMakeFiles/fft3d_demo.dir/fft3d_demo.cpp.o" "gcc" "examples/CMakeFiles/fft3d_demo.dir/fft3d_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/anton_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anton_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/anton_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anton_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anton_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_demo.dir/fft3d_demo.cpp.o"
+  "CMakeFiles/fft3d_demo.dir/fft3d_demo.cpp.o.d"
+  "fft3d_demo"
+  "fft3d_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

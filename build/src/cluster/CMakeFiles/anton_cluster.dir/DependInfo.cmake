@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/collectives.cpp" "src/cluster/CMakeFiles/anton_cluster.dir/collectives.cpp.o" "gcc" "src/cluster/CMakeFiles/anton_cluster.dir/collectives.cpp.o.d"
+  "/root/repo/src/cluster/desmond.cpp" "src/cluster/CMakeFiles/anton_cluster.dir/desmond.cpp.o" "gcc" "src/cluster/CMakeFiles/anton_cluster.dir/desmond.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/cluster/CMakeFiles/anton_cluster.dir/network.cpp.o" "gcc" "src/cluster/CMakeFiles/anton_cluster.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/anton_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anton_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

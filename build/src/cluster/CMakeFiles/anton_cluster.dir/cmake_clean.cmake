@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_cluster.dir/collectives.cpp.o"
+  "CMakeFiles/anton_cluster.dir/collectives.cpp.o.d"
+  "CMakeFiles/anton_cluster.dir/desmond.cpp.o"
+  "CMakeFiles/anton_cluster.dir/desmond.cpp.o.d"
+  "CMakeFiles/anton_cluster.dir/network.cpp.o"
+  "CMakeFiles/anton_cluster.dir/network.cpp.o.d"
+  "libanton_cluster.a"
+  "libanton_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_core.dir/allreduce.cpp.o"
+  "CMakeFiles/anton_core.dir/allreduce.cpp.o.d"
+  "CMakeFiles/anton_core.dir/multicast.cpp.o"
+  "CMakeFiles/anton_core.dir/multicast.cpp.o.d"
+  "CMakeFiles/anton_core.dir/neighborhood.cpp.o"
+  "CMakeFiles/anton_core.dir/neighborhood.cpp.o.d"
+  "libanton_core.a"
+  "libanton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanton_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_fft.dir/distributed.cpp.o"
+  "CMakeFiles/anton_fft.dir/distributed.cpp.o.d"
+  "CMakeFiles/anton_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/anton_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/anton_fft.dir/grid3d.cpp.o"
+  "CMakeFiles/anton_fft.dir/grid3d.cpp.o.d"
+  "libanton_fft.a"
+  "libanton_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_md.dir/anton_app.cpp.o"
+  "CMakeFiles/anton_md.dir/anton_app.cpp.o.d"
+  "CMakeFiles/anton_md.dir/engine.cpp.o"
+  "CMakeFiles/anton_md.dir/engine.cpp.o.d"
+  "CMakeFiles/anton_md.dir/ewald.cpp.o"
+  "CMakeFiles/anton_md.dir/ewald.cpp.o.d"
+  "CMakeFiles/anton_md.dir/forces.cpp.o"
+  "CMakeFiles/anton_md.dir/forces.cpp.o.d"
+  "CMakeFiles/anton_md.dir/system.cpp.o"
+  "CMakeFiles/anton_md.dir/system.cpp.o.d"
+  "libanton_md.a"
+  "libanton_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_net.dir/client.cpp.o"
+  "CMakeFiles/anton_net.dir/client.cpp.o.d"
+  "CMakeFiles/anton_net.dir/machine.cpp.o"
+  "CMakeFiles/anton_net.dir/machine.cpp.o.d"
+  "CMakeFiles/anton_net.dir/node.cpp.o"
+  "CMakeFiles/anton_net.dir/node.cpp.o.d"
+  "CMakeFiles/anton_net.dir/packet.cpp.o"
+  "CMakeFiles/anton_net.dir/packet.cpp.o.d"
+  "libanton_net.a"
+  "libanton_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_sim.dir/simulator.cpp.o"
+  "CMakeFiles/anton_sim.dir/simulator.cpp.o.d"
+  "libanton_sim.a"
+  "libanton_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_trace.dir/activity.cpp.o"
+  "CMakeFiles/anton_trace.dir/activity.cpp.o.d"
+  "libanton_trace.a"
+  "libanton_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_util.dir/csv.cpp.o"
+  "CMakeFiles/anton_util.dir/csv.cpp.o.d"
+  "CMakeFiles/anton_util.dir/stats.cpp.o"
+  "CMakeFiles/anton_util.dir/stats.cpp.o.d"
+  "CMakeFiles/anton_util.dir/table.cpp.o"
+  "CMakeFiles/anton_util.dir/table.cpp.o.d"
+  "CMakeFiles/anton_util.dir/torus_coord.cpp.o"
+  "CMakeFiles/anton_util.dir/torus_coord.cpp.o.d"
+  "libanton_util.a"
+  "libanton_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

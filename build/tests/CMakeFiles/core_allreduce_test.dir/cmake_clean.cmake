@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_allreduce_test.dir/core_allreduce_test.cpp.o"
+  "CMakeFiles/core_allreduce_test.dir/core_allreduce_test.cpp.o.d"
+  "core_allreduce_test"
+  "core_allreduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_allreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_primitives_test.dir/core_primitives_test.cpp.o"
+  "CMakeFiles/core_primitives_test.dir/core_primitives_test.cpp.o.d"
+  "core_primitives_test"
+  "core_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_engine_test.dir/md_engine_test.cpp.o"
+  "CMakeFiles/md_engine_test.dir/md_engine_test.cpp.o.d"
+  "md_engine_test"
+  "md_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

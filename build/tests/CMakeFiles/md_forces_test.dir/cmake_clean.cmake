@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_forces_test.dir/md_forces_test.cpp.o"
+  "CMakeFiles/md_forces_test.dir/md_forces_test.cpp.o.d"
+  "md_forces_test"
+  "md_forces_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_forces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

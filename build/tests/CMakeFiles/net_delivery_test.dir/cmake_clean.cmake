@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_delivery_test.dir/net_delivery_test.cpp.o"
+  "CMakeFiles/net_delivery_test.dir/net_delivery_test.cpp.o.d"
+  "net_delivery_test"
+  "net_delivery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_latency_test "/root/repo/build/tests/net_latency_test")
+set_tests_properties(net_latency_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_delivery_test "/root/repo/build/tests/net_delivery_test")
+set_tests_properties(net_delivery_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_multicast_test "/root/repo/build/tests/core_multicast_test")
+set_tests_properties(core_multicast_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_allreduce_test "/root/repo/build/tests/core_allreduce_test")
+set_tests_properties(core_allreduce_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_test "/root/repo/build/tests/trace_test")
+set_tests_properties(trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fft_test "/root/repo/build/tests/fft_test")
+set_tests_properties(fft_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cluster_test "/root/repo/build/tests/cluster_test")
+set_tests_properties(cluster_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(md_forces_test "/root/repo/build/tests/md_forces_test")
+set_tests_properties(md_forces_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(md_engine_test "/root/repo/build/tests/md_engine_test")
+set_tests_properties(md_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(md_anton_test "/root/repo/build/tests/md_anton_test")
+set_tests_properties(md_anton_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;anton_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_primitives_test "/root/repo/build/tests/core_primitives_test")
+set_tests_properties(core_primitives_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;anton_test;/root/repo/tests/CMakeLists.txt;0;")
