@@ -2,6 +2,7 @@
 // Anton model, paper-vs-measured table assembly, CSV output location.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -11,6 +12,29 @@
 #include "util/table.hpp"
 
 namespace anton::bench {
+
+/// Machine-readable paper-vs-measured records: one JSON object per line,
+/// written to BENCH_<name>.json in the working directory. Every bench emits
+/// these alongside its human-readable table so tooling can track the
+/// deviation trajectory across commits.
+class JsonReporter {
+ public:
+  explicit JsonReporter(const std::string& bench)
+      : bench_(bench), out_("BENCH_" + bench + ".json") {}
+
+  /// deviation = (measured - paper) / paper (0 when paper is 0).
+  void record(const std::string& metric, double paper, double measured,
+              const std::string& unit) {
+    double dev = paper != 0.0 ? (measured - paper) / paper : 0.0;
+    out_ << "{\"bench\":\"" << bench_ << "\",\"metric\":\"" << metric
+         << "\",\"paper\":" << paper << ",\"measured\":" << measured
+         << ",\"deviation\":" << dev << ",\"unit\":\"" << unit << "\"}\n";
+  }
+
+ private:
+  std::string bench_;
+  std::ofstream out_;
+};
 
 struct PingResult {
   double oneWayNs = 0.0;

@@ -51,6 +51,10 @@ int main() {
   double h1 = measure(1, 0, false);
   double h4 = measure(4, 0, false);
   double h12 = measure(12, 0, false);
+  bench::JsonReporter json("fig05");
+  json.record("one_hop_latency", 162.0, h1, "ns");
+  json.record("x_slope", 76.0, (h4 - h1) / 3.0, "ns/hop");
+  json.record("twelve_hop_ratio", 5.0, h12 / h1, "x");
   std::cout << "\npaper anchors: 1 hop = 162 ns (measured "
             << util::TablePrinter::num(h1, 1) << "), X slope = 76 ns/hop (measured "
             << util::TablePrinter::num((h4 - h1) / 3.0, 1)

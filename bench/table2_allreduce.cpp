@@ -47,6 +47,7 @@ int main() {
   util::CsvWriter csv("table2_allreduce.csv");
   csv.row("nodes", "zero_paper_us", "zero_model_us", "b32_paper_us",
           "b32_model_us", "b32_butterfly_us");
+  bench::JsonReporter json("table2");
 
   double model512 = 0;
   for (const Config& c : configs) {
@@ -74,6 +75,9 @@ int main() {
                   util::TablePrinter::num(b32, 2),
                   util::TablePrinter::num(bfly, 2)});
     csv.row(c.shape.size(), c.paper0Us, zero, c.paper32Us, b32, bfly);
+    std::string nodes = std::to_string(c.shape.size());
+    json.record("allreduce_0B_" + nodes + "n", c.paper0Us, zero, "us");
+    json.record("allreduce_32B_" + nodes + "n", c.paper32Us, b32, "us");
   }
   table.print(std::cout);
 

@@ -1,0 +1,101 @@
+#include "fault/plan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anton::fault {
+
+FaultPlan::FaultPlan(FaultConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg.bitErrorRate < 0.0 || cfg.bitErrorRate > 1.0)
+    throw std::invalid_argument("bit-error rate must be in [0, 1]");
+  if (cfg.maxRetransmits < 0)
+    throw std::invalid_argument("retransmit cap must be non-negative");
+}
+
+int FaultPlan::linkKey(int nodeIdx, int dim, int sign) {
+  return nodeIdx * 6 + dim * 2 + (sign > 0 ? 0 : 1);
+}
+
+void FaultPlan::addLinkOutage(int nodeIdx, int dim, int sign, sim::Time from,
+                              sim::Time until) {
+  if (until <= from) throw std::invalid_argument("empty outage window");
+  outages_[linkKey(nodeIdx, dim, sign)].push_back({from, until});
+}
+
+void FaultPlan::addRouterStall(int nodeIdx, sim::Time from, sim::Time until) {
+  if (until <= from) throw std::invalid_argument("empty stall window");
+  stalls_[nodeIdx].push_back({from, until});
+}
+
+net::LinkFaultOutcome FaultPlan::onLinkTraversal(int nodeIdx, int dim,
+                                                 int sign,
+                                                 std::size_t wireBytes,
+                                                 sim::Time depart) {
+  ++stats_.traversalsSeen;
+  net::LinkFaultOutcome out;
+  if (!outages_.empty()) {
+    auto it = outages_.find(linkKey(nodeIdx, dim, sign));
+    if (it != outages_.end()) {
+      // Stall until the latest window covering (or reached by) the stalled
+      // departure time closes — consecutive windows chain.
+      sim::Time t = depart;
+      bool hit = true;
+      while (hit) {
+        hit = false;
+        for (const Window& w : it->second) {
+          if (t >= w.from && t < w.until) {
+            t = w.until;
+            hit = true;
+          }
+        }
+      }
+      if (t > depart) {
+        out.stall = t - depart;
+        ++stats_.outageHits;
+      }
+    }
+  }
+  if (cfg_.bitErrorRate > 0.0) {
+    // A packet survives a traversal only if all its wire bits do; replays
+    // are i.i.d., so the retransmit count is geometric (capped).
+    double pGood =
+        std::pow(1.0 - cfg_.bitErrorRate, double(wireBytes) * 8.0);
+    int n = 0;
+    while (n < cfg_.maxRetransmits && rng_.uniform() >= pGood) ++n;
+    if (n > 0) {
+      ++stats_.corruptTraversals;
+      stats_.replays += std::uint64_t(n);
+      out.retransmits = n;
+    }
+  }
+  return out;
+}
+
+bool FaultPlan::linkDown(int nodeIdx, int dim, int sign, sim::Time t) const {
+  if (outages_.empty()) return false;
+  auto it = outages_.find(linkKey(nodeIdx, dim, sign));
+  if (it == outages_.end()) return false;
+  for (const Window& w : it->second)
+    if (t >= w.from && t < w.until) return true;
+  return false;
+}
+
+sim::Time FaultPlan::routerStallUntil(int nodeIdx, sim::Time t) const {
+  if (stalls_.empty()) return t;
+  auto it = stalls_.find(nodeIdx);
+  if (it == stalls_.end()) return t;
+  sim::Time release = t;
+  bool hit = true;
+  while (hit) {
+    hit = false;
+    for (const Window& w : it->second) {
+      if (release >= w.from && release < w.until) {
+        release = w.until;
+        hit = true;
+      }
+    }
+  }
+  return release;
+}
+
+}  // namespace anton::fault

@@ -1,0 +1,45 @@
+#include "fault/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "fault/plan.hpp"
+#include "util/table.hpp"
+
+namespace anton::fault {
+
+void printFaultSummary(std::ostream& os, const net::Machine& machine,
+                       const FaultPlan* plan) {
+  const net::MachineStats& s = machine.stats();
+  util::TablePrinter t({"fault event", "count", "time cost (us)"});
+  t.addRow({"CRC retransmits", std::to_string(s.crcRetransmits),
+            util::TablePrinter::num(sim::toUs(s.retransmitDelay), 3)});
+  t.addRow({"link-outage stalls", std::to_string(s.outageStalls), ""});
+  t.addRow({"router stalls", std::to_string(s.routerStalls), ""});
+  t.addRow({"outage+stall wait", "",
+            util::TablePrinter::num(sim::toUs(s.stallDelay), 3)});
+  t.addRow({"degraded-mode reroutes", std::to_string(s.faultReroutes), ""});
+  if (plan != nullptr) {
+    const FaultPlanStats& p = plan->stats();
+    t.addRow({"link traversals seen", std::to_string(p.traversalsSeen), ""});
+    t.addRow({"corrupt traversals", std::to_string(p.corruptTraversals), ""});
+  }
+  t.print(os);
+  if (plan != nullptr) {
+    os << "plan: seed=" << plan->config().seed
+       << " ber=" << plan->config().bitErrorRate
+       << " retransmit cap=" << plan->config().maxRetransmits << "\n";
+  }
+}
+
+std::string faultSummaryLine(const net::MachineStats& s) {
+  std::ostringstream os;
+  os << "retx=" << s.crcRetransmits << " (+"
+     << util::TablePrinter::num(sim::toUs(s.retransmitDelay), 3)
+     << " us) outages=" << s.outageStalls << " rstalls=" << s.routerStalls
+     << " (+" << util::TablePrinter::num(sim::toUs(s.stallDelay), 3)
+     << " us) reroutes=" << s.faultReroutes;
+  return os.str();
+}
+
+}  // namespace anton::fault

@@ -1,0 +1,24 @@
+// Fault observability: render the reliability counters a run accumulated —
+// MachineStats' fault fields plus the plan's own tallies — as a summary
+// table, the textual counterpart of the retx/outage/rstall activity kinds
+// the machine records into trace::ActivityTrace.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/machine.hpp"
+
+namespace anton::fault {
+
+class FaultPlan;
+
+/// Print a fault-summary table for a machine (pass the installed plan to
+/// include bit-error-rate bookkeeping; nullptr is fine).
+void printFaultSummary(std::ostream& os, const net::Machine& machine,
+                       const FaultPlan* plan = nullptr);
+
+/// Compact one-line summary, e.g. "retx=12 (+1.3 us) outages=2 reroutes=5".
+std::string faultSummaryLine(const net::MachineStats& s);
+
+}  // namespace anton::fault

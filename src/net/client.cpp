@@ -30,18 +30,43 @@ void NetworkClient::CounterWait::await_suspend(std::coroutine_handle<> h) const 
     // Already satisfied: the poll still costs one successful-poll latency.
     client.machine_.sim().resumeAfter(client.pollLatency(), h);
   } else {
-    c.waiters.push_back({target, h});
+    c.waiters.push_back({target, [h] { h.resume(); }});
   }
 }
 
-void NetworkClient::bumpCounter(int id, sim::Time /*now*/) {
+void NetworkClient::onCounter(int id, std::uint64_t target,
+                              std::function<void()> fn) {
+  checkCounter(id);
+  SyncCounter& c = counters_[std::size_t(id)];
+  if (c.value >= target) {
+    machine_.sim().after(pollLatency(), std::move(fn));
+  } else {
+    c.waiters.push_back({target, std::move(fn)});
+  }
+}
+
+void NetworkClient::trackCounterSources(int id) {
+  checkCounter(id);
+  srcTally_.try_emplace(id);
+}
+
+std::map<int, std::uint64_t> NetworkClient::counterSources(int id) const {
+  auto it = srcTally_.find(id);
+  return it != srcTally_.end() ? it->second : std::map<int, std::uint64_t>{};
+}
+
+void NetworkClient::bumpCounter(int id, sim::Time /*now*/, int srcNode) {
   SyncCounter& c = counters_[std::size_t(id)];
   ++c.value;
+  if (!srcTally_.empty() && srcNode >= 0) {
+    auto it = srcTally_.find(id);
+    if (it != srcTally_.end()) ++it->second[srcNode];
+  }
   // Wake every poller whose threshold is now met; each resumes after the
   // polling latency of this client's counter bank.
   for (auto it = c.waiters.begin(); it != c.waiters.end();) {
     if (it->target <= c.value) {
-      machine_.sim().resumeAfter(pollLatency(), it->handle);
+      machine_.sim().after(pollLatency(), std::move(it->wake));
       it = c.waiters.erase(it);
     } else {
       ++it;
@@ -63,7 +88,7 @@ void NetworkClient::deliver(const PacketPtr& p) {
   }
   if (p->counterId != kNoCounter) {
     checkCounter(p->counterId);
-    bumpCounter(p->counterId, machine_.sim().now());
+    bumpCounter(p->counterId, machine_.sim().now(), p->src.node);
   }
 }
 
@@ -101,7 +126,7 @@ void ProcessingSlice::deliver(const PacketPtr& p) {
     fifoHighWater_ = std::max(fifoHighWater_, fifo_.size());
     if (p->counterId != kNoCounter) {
       checkCounter(p->counterId);
-      bumpCounter(p->counterId, machine_.sim().now());
+      bumpCounter(p->counterId, machine_.sim().now(), p->src.node);
     }
     tryWakeFifoWaiter(machine_.sim().now());
     return;
@@ -154,7 +179,7 @@ void AccumulationMemory::deliver(const PacketPtr& p) {
   }
   if (p->counterId != kNoCounter) {
     checkCounter(p->counterId);
-    bumpCounter(p->counterId, machine_.sim().now());
+    bumpCounter(p->counterId, machine_.sim().now(), p->src.node);
   }
 }
 

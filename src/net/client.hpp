@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -25,12 +27,13 @@ namespace anton::net {
 class Machine;
 
 /// One synchronization counter: a monotonically increasing packet count plus
-/// the list of coroutines polling it for a threshold.
+/// the list of wake actions polling it for a threshold (coroutine resumes
+/// and watchdog callbacks alike).
 struct SyncCounter {
   std::uint64_t value = 0;
   struct Waiter {
     std::uint64_t target;
-    std::coroutine_handle<> handle;
+    std::function<void()> wake;
   };
   std::vector<Waiter> waiters;
 };
@@ -86,6 +89,19 @@ class NetworkClient {
     return CounterWait{*this, id, target};
   }
 
+  /// One-shot callback: invoke `fn` (after this client's poll latency) once
+  /// counters[id] >= target; scheduled immediately if already met. The
+  /// machinery behind the counted-write watchdog (core/watchdog.hpp).
+  void onCounter(int id, std::uint64_t target, std::function<void()> fn);
+
+  /// Opt in to per-source bookkeeping on counter `id`: subsequent increments
+  /// record the source node of the delivering packet. Used by watchdog
+  /// diagnostics to name the missing senders of a timed-out counted write.
+  void trackCounterSources(int id);
+  /// Arrival tally (source node -> packets) of a tracked counter; empty for
+  /// untracked counters.
+  std::map<int, std::uint64_t> counterSources(int id) const;
+
   /// Latency of one successful poll of this client's counters, as seen by
   /// software on a processing slice of the same node.
   virtual sim::Time pollLatency() const;
@@ -119,7 +135,7 @@ class NetworkClient {
   sim::Task send(SendArgs args);
 
  protected:
-  void bumpCounter(int id, sim::Time now);
+  void bumpCounter(int id, sim::Time now, int srcNode = -1);
   void checkCounter(int id) const {
     if (id < 0 || id >= numCounters())
       throw std::out_of_range("bad sync counter id");
@@ -129,6 +145,7 @@ class NetworkClient {
   ClientAddr addr_;
   std::vector<std::byte> mem_;
   std::vector<SyncCounter> counters_;
+  std::map<int, std::map<int, std::uint64_t>> srcTally_;  ///< tracked counters
 };
 
 /// A processing slice: one Tensilica core plus two geometry cores. Programs

@@ -70,6 +70,12 @@ struct LatencyConfig {
   /// (calibrated aggregates: 20+36+20 = 76 ns/hop X, 20+14+20 = 54 ns/hop Y/Z).
   std::array<double, 3> transitNs = {36.0, 14.0, 14.0};
 
+  /// Link-level retransmission turnaround per CRC-detected corrupt copy:
+  /// receiver-side CRC check (~10 ns), NACK crossing the link adapters back
+  /// (2 x 20 ns), and replay setup. Charged on top of re-serializing the
+  /// packet; see DESIGN.md §7 for the calibration rationale.
+  double crcRetransmitNs = 50.0;
+
   double linkBytesPerNs = 4.6;     ///< 36.8 Gbit/s effective, per direction
   double ringBytesPerNs = 15.525;  ///< 124.2 Gbit/s on-chip ring
   /// Spatial reuse of the six-segment ring: distinct source/destination
@@ -88,6 +94,7 @@ struct LatencyConfig {
   sim::Time assembly() const { return sim::ns(assemblyNs); }
   sim::Time adapter() const { return sim::ns(adapterNs); }
   sim::Time pollSuccess() const { return sim::ns(pollSuccessNs); }
+  sim::Time retransmitPenalty() const { return sim::ns(crcRetransmitNs); }
   sim::Time accumPoll() const { return sim::ns(accumPollNs); }
   sim::Time wire(int dim) const { return sim::ns(wireNs[static_cast<std::size_t>(dim)]); }
   sim::Time transit(int dim) const {

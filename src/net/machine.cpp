@@ -16,7 +16,7 @@ constexpr std::array<std::array<int, 3>, 6> kDimPerms = {{
 }  // namespace
 
 Machine::Machine(sim::Simulator& sim, util::TorusShape shape, MachineConfig cfg)
-    : sim_(sim), shape_(shape), cfg_(cfg) {
+    : sim_(sim), shape_(shape), cfg_(cfg), faultReroute_(cfg.faultReroute) {
   if (shape.nx < 1 || shape.ny < 1 || shape.nz < 1)
     throw std::invalid_argument("torus extents must be positive");
   nodes_.reserve(std::size_t(shape.size()));
@@ -36,6 +36,10 @@ void Machine::setTrace(trace::ActivityTrace* t) {
   for (int a = 0; a < 6; ++a)
     traceLinkUnits_[std::size_t(a)] = t->unit(kNames[a]);
   traceKind_ = t->kind("xfer");
+  traceRetxKind_ = t->kind("retx");
+  traceOutageKind_ = t->kind("outage");
+  traceRstallKind_ = t->kind("rstall");
+  traceFaultUnit_ = t->unit("fault");
 }
 
 int Machine::hops(int fromNode, int toNode) const {
@@ -68,6 +72,18 @@ void Machine::inject(const PacketPtr& p) {
 
 void Machine::routeFrom(const PacketPtr& p, int nodeIdx, int entryRouter,
                         int viaDim, int viaSign, sim::Time t) {
+  if (fault_ != nullptr) {
+    // Stalled on-chip router: everything entering this node's ring waits.
+    sim::Time free = fault_->routerStallUntil(nodeIdx, t);
+    if (free > t) {
+      ++stats_.routerStalls;
+      stats_.stallDelay += free - t;
+      if (trace_ != nullptr)
+        trace_->record(traceFaultUnit_, traceRstallKind_, t, free);
+      t = free;
+    }
+  }
+
   if (p->multicastPattern != kNoMulticast) {
     const MulticastEntry& e = node(nodeIdx).multicast(p->multicastPattern);
     if (e.empty())
@@ -94,18 +110,41 @@ void Machine::routeFrom(const PacketPtr& p, int nodeIdx, int entryRouter,
     return;
   }
 
-  // Unicast: dimension-ordered shortest-path routing.
+  // Unicast: dimension-ordered shortest-path routing. In degraded mode the
+  // first dimension whose outgoing link is healthy wins; if every remaining
+  // dimension's link is down the packet takes the preferred one and stalls
+  // at its adapter until the outage window closes.
   util::TorusCoord here = util::torusCoordOf(nodeIdx, shape_);
   util::TorusCoord dest = util::torusCoordOf(p->dst.node, shape_);
+  int prefDim = -1, prefSign = 0;
+  int useDim = -1, useSign = 0;
   for (int dim : dimOrder(*p)) {
     int delta = util::signedTorusDelta(here[dim], dest[dim], shape_.extent(dim));
     if (delta == 0) continue;
     int sign = delta > 0 ? +1 : -1;
-    forwardOnLink(p, nodeIdx, entryRouter,
-                  (viaDim == dim && viaSign == sign) ? viaDim : -1, dim, sign, t);
+    if (prefDim < 0) {
+      prefDim = dim;
+      prefSign = sign;
+    }
+    if (faultReroute_ && fault_ != nullptr &&
+        fault_->linkDown(nodeIdx, dim, sign, t))
+      continue;
+    useDim = dim;
+    useSign = sign;
+    break;
+  }
+  if (prefDim < 0) {
+    deliverLocal(p, nodeIdx, entryRouter, p->dst.client, t);
     return;
   }
-  deliverLocal(p, nodeIdx, entryRouter, p->dst.client, t);
+  if (useDim < 0) {
+    useDim = prefDim;
+    useSign = prefSign;
+  }
+  if (useDim != prefDim || useSign != prefSign) ++stats_.faultReroutes;
+  forwardOnLink(p, nodeIdx, entryRouter,
+                (viaDim == useDim && viaSign == useSign) ? viaDim : -1, useDim,
+                useSign, t);
 }
 
 void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
@@ -125,14 +164,39 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
   Link& l = link(nodeIdx, dim, sign);
   sim::Time depart = std::max(atAdapter, l.busyUntil);
   sim::Time ser = lat.linkSerialization(p->wireBytes());
+  const int adapterIdx = RingLayout::adapterIndex(dim, sign);
+  if (fault_ != nullptr) {
+    LinkFaultOutcome out =
+        fault_->onLinkTraversal(nodeIdx, dim, sign, p->wireBytes(), depart);
+    if (out.stall > 0) {
+      // Outage: the adapter holds the packet until the link comes back.
+      ++stats_.outageStalls;
+      stats_.stallDelay += out.stall;
+      if (trace_ != nullptr)
+        trace_->record(traceLinkUnits_[std::size_t(adapterIdx)],
+                       traceOutageKind_, depart, depart + out.stall);
+      depart += out.stall;
+    }
+    if (out.retransmits > 0) {
+      // Link-level retransmission: each CRC-detected corrupt copy occupies
+      // the link for its serialization plus the calibrated replay turnaround.
+      sim::Time penalty =
+          sim::Time(out.retransmits) * (ser + lat.retransmitPenalty());
+      stats_.crcRetransmits += std::uint64_t(out.retransmits);
+      stats_.retransmitDelay += penalty;
+      if (trace_ != nullptr)
+        trace_->record(traceLinkUnits_[std::size_t(adapterIdx)],
+                       traceRetxKind_, depart, depart + penalty);
+      depart += penalty;
+    }
+  }
   l.busyUntil = depart + ser;
   ++l.traversals;
   ++stats_.linkTraversals;
   stats_.wireBytes += p->wireBytes();
   if (trace_ != nullptr) {
-    trace_->record(
-        traceLinkUnits_[std::size_t(RingLayout::adapterIndex(dim, sign))],
-        traceKind_, depart, depart + std::max<sim::Time>(ser, 1));
+    trace_->record(traceLinkUnits_[std::size_t(adapterIdx)], traceKind_, depart,
+                   depart + std::max<sim::Time>(ser, 1));
   }
 
   // Wormhole switching: the head proceeds after the wire delay; the tail

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_hooks.hpp"
 #include "net/latency.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -29,15 +30,26 @@ struct MachineConfig {
   int countersPerClient = 256;           ///< sync counters per client
   bool adaptiveRouting = true;  ///< permute dimension order for packets
                                 ///< without the in-order flag
+  bool faultReroute = false;  ///< degraded mode: route around links that the
+                              ///< installed fault model reports as down, via
+                              ///< a non-preferred dimension order
 };
 
-/// Aggregate traffic statistics.
+/// Aggregate traffic statistics. The reliability counters stay exactly zero
+/// on a fault-free run (including under an installed zero-fault plan).
 struct MachineStats {
   std::uint64_t packetsInjected = 0;
   std::uint64_t packetsDelivered = 0;
   std::uint64_t linkTraversals = 0;
   std::uint64_t wireBytes = 0;       ///< bytes crossing inter-node links
   std::uint64_t multicastForks = 0;  ///< replicas created by multicast fan-out
+  std::uint64_t crcRetransmits = 0;  ///< corrupt link transmissions replayed
+  std::uint64_t outageStalls = 0;    ///< traversals held by a link outage
+  std::uint64_t routerStalls = 0;    ///< node visits delayed by a stalled ring
+  std::uint64_t faultReroutes = 0;   ///< packets sent via a non-preferred dim
+  sim::Time retransmitDelay = 0;     ///< latency inflation from CRC replays
+  sim::Time stallDelay = 0;          ///< total outage + router-stall wait
+  friend bool operator==(const MachineStats&, const MachineStats&) = default;
 };
 
 class Machine {
@@ -88,6 +100,18 @@ class Machine {
   void setTrace(trace::ActivityTrace* t);
   trace::ActivityTrace* trace() const { return trace_; }
 
+  /// Install a fault model (e.g. fault::FaultPlan), consulted on every link
+  /// traversal, dimension choice, and node-ring entry. Pass nullptr to
+  /// detach. A model that reports no faults leaves all timing bit-identical
+  /// to the fault-free machine.
+  void setFaultModel(FaultModel* f) { fault_ = f; }
+  FaultModel* faultModel() const { return fault_; }
+
+  /// Toggle degraded-mode routing at runtime (initially
+  /// MachineConfig::faultReroute). Only affects packets routed afterwards.
+  void setFaultReroute(bool on) { faultReroute_ = on; }
+  bool faultReroute() const { return faultReroute_; }
+
  private:
   friend class NetworkClient;
 
@@ -130,6 +154,12 @@ class Machine {
   trace::ActivityTrace* trace_ = nullptr;
   std::array<int, 6> traceLinkUnits_{};
   int traceKind_ = 0;
+  int traceRetxKind_ = 0;
+  int traceOutageKind_ = 0;
+  int traceRstallKind_ = 0;
+  int traceFaultUnit_ = 0;
+  FaultModel* fault_ = nullptr;
+  bool faultReroute_ = false;
 };
 
 }  // namespace anton::net

@@ -1,0 +1,143 @@
+// Determinism regression: the same seeded workload must produce bit-identical
+// MachineStats, memories, counters, and MD positions across runs — with no
+// fault plan, with a zero-fault plan (which must also match the no-plan
+// run exactly), and with a nonzero bit-error plan re-run under the same
+// seed. This protects the seedable-RNG contract the fault scheduler relies
+// on: all fault randomness lives in the plan's own RNG, drawn in the
+// deterministic traversal order of the event kernel.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "md/anton_app.hpp"
+#include "net/machine.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace anton {
+namespace {
+
+// FNV-1a over every client memory and counter bank of the machine.
+std::uint64_t machineDigest(net::Machine& m) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (int n = 0; n < m.numNodes(); ++n) {
+    for (int c = 0; c < net::kClientsPerNode; ++c) {
+      net::NetworkClient& cl = m.client({n, c});
+      for (std::byte b : cl.memory()) {
+        h ^= std::uint64_t(b);
+        h *= 0x100000001b3ULL;
+      }
+      for (int k = 0; k < cl.numCounters(); ++k) mix(cl.counterValue(k));
+    }
+  }
+  return h;
+}
+
+struct RunResult {
+  net::MachineStats stats;
+  std::uint64_t digest = 0;
+  sim::Time finalTime = 0;
+};
+
+// A seeded random traffic storm: writes and accumulations of varying sizes
+// between random clients, then drain.
+RunResult trafficStorm(std::uint64_t seed, fault::FaultPlan* plan) {
+  sim::Simulator sim;
+  net::Machine m(sim, {4, 4, 4});
+  if (plan != nullptr) m.setFaultModel(plan);
+  sim::Rng rng(seed);
+  for (int i = 0; i < 400; ++i) {
+    int srcNode = int(rng.below(std::uint64_t(m.numNodes())));
+    int srcClient = int(rng.below(4));  // slices can always send
+    net::NetworkClient::SendArgs args;
+    args.dst = {int(rng.below(std::uint64_t(m.numNodes()))),
+                int(rng.below(4))};
+    args.counterId = int(rng.below(4));
+    args.address = std::uint32_t(rng.below(1024)) * 16;
+    std::size_t bytes = std::size_t(rng.below(32)) * 8;
+    if (bytes != 0) args.payload = net::makeZeroPayload(bytes);
+    m.client({srcNode, srcClient}).post(args);
+  }
+  sim.run();
+  return {m.stats(), machineDigest(m), sim.now()};
+}
+
+TEST(Determinism, SeededTrafficIsBitIdenticalAcrossRuns) {
+  RunResult a = trafficStorm(7, nullptr);
+  RunResult b = trafficStorm(7, nullptr);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.finalTime, b.finalTime);
+}
+
+TEST(Determinism, ZeroFaultPlanMatchesNoPlanExactly) {
+  RunResult bare = trafficStorm(7, nullptr);
+  fault::FaultPlan idle;  // no BER, no windows
+  RunResult planned = trafficStorm(7, &idle);
+  EXPECT_EQ(bare.stats, planned.stats);
+  EXPECT_EQ(bare.digest, planned.digest);
+  EXPECT_EQ(bare.finalTime, planned.finalTime);
+  EXPECT_EQ(planned.stats.crcRetransmits, 0u);
+  EXPECT_GT(idle.stats().traversalsSeen, 0u);
+}
+
+TEST(Determinism, FaultyRunsReproduceUnderTheSameSeed) {
+  fault::FaultConfig fc;
+  fc.seed = 123;
+  fc.bitErrorRate = 5e-4;
+  fault::FaultPlan p1(fc), p2(fc);
+  RunResult a = trafficStorm(7, &p1);
+  RunResult b = trafficStorm(7, &p2);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.finalTime, b.finalTime);
+  EXPECT_GT(a.stats.crcRetransmits, 0u);
+  // Faults must have perturbed timing relative to the clean run.
+  RunResult clean = trafficStorm(7, nullptr);
+  EXPECT_NE(a.finalTime, clean.finalTime);
+}
+
+TEST(Determinism, MdPositionsBitIdenticalWithZeroFaultPlan) {
+  // The full Anton-mapped MD pipeline: a zero-fault plan must leave the
+  // trajectory bit-identical to running without one.
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = 1536;
+  sp.temperature = 0.8;
+  sp.seed = 11;
+  md::MDSystem sys = md::buildSyntheticSystem(sp);
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.migrationInterval = 2;
+  cfg.longRangeInterval = 2;
+
+  auto run = [&](fault::FaultPlan* plan) {
+    sim::Simulator sim;
+    net::Machine m(sim, {4, 4, 4});
+    if (plan != nullptr) m.setFaultModel(plan);
+    md::AntonMdApp app(m, sys, cfg);
+    app.runSteps(3);
+    return app.gatherSystem();
+  };
+  md::MDSystem bare = run(nullptr);
+  fault::FaultPlan idle;
+  md::MDSystem planned = run(&idle);
+
+  ASSERT_EQ(bare.numAtoms(), planned.numAtoms());
+  for (int i = 0; i < bare.numAtoms(); ++i) {
+    EXPECT_EQ(bare.positions[std::size_t(i)], planned.positions[std::size_t(i)]);
+    EXPECT_EQ(bare.velocities[std::size_t(i)],
+              planned.velocities[std::size_t(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace anton

@@ -1,0 +1,285 @@
+// The reliability subsystem: a zero-fault plan must be timing-invisible
+// (all calibrated anchors hold exactly), bit errors must be repaired by
+// link-level retransmission with the calibrated penalty, outages must stall
+// or reroute, router stalls must delay ring traffic, and the counted-write
+// watchdog must turn a would-be deadlock into a diagnostic.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/watchdog.hpp"
+#include "fault/plan.hpp"
+#include "fault/report.hpp"
+#include "net/machine.hpp"
+#include "sim/simulator.hpp"
+#include "trace/activity.hpp"
+
+namespace anton {
+namespace {
+
+using net::ClientAddr;
+using net::kSlice0;
+using net::kSlice1;
+using net::Machine;
+using net::MachineConfig;
+using net::NetworkClient;
+using sim::Task;
+using sim::toNs;
+
+struct Fixture {
+  sim::Simulator sim;
+  Machine machine;
+  explicit Fixture(util::TorusShape shape = {8, 8, 8}, MachineConfig cfg = {})
+      : machine(sim, shape, cfg) {}
+
+  int nodeAt(int x, int y, int z) {
+    return util::torusIndex({x, y, z}, machine.shape());
+  }
+
+  double oneWayNs(ClientAddr src, ClientAddr dst, std::size_t payloadBytes,
+                  bool inOrder = true) {
+    double doneNs = -1.0;
+    auto receiver = [](Fixture& f, ClientAddr d, double& out) -> Task {
+      NetworkClient& c = f.machine.client(d);
+      co_await c.waitCounter(0, c.counterValue(0) + 1);
+      out = toNs(f.sim.now());
+    };
+    sim.spawn(receiver(*this, dst, doneNs));
+    double startNs = toNs(sim.now());
+    NetworkClient::SendArgs args;
+    args.dst = dst;
+    args.counterId = 0;
+    args.inOrder = inOrder;
+    if (payloadBytes != 0) args.payload = net::makeZeroPayload(payloadBytes);
+    machine.client(src).post(args);
+    sim.run();
+    EXPECT_GE(doneNs, 0.0) << "message never arrived";
+    return doneNs - startNs;
+  }
+};
+
+TEST(FaultPlan, ZeroFaultPlanIsTimingInvisible) {
+  // All calibrated anchors hold exactly with an idle plan installed.
+  Fixture f;
+  fault::FaultPlan plan;
+  f.machine.setFaultModel(&plan);
+  EXPECT_DOUBLE_EQ(f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0},
+                              {f.nodeAt(1, 0, 0), kSlice0}, 0),
+                   162.0);
+  Fixture g;
+  fault::FaultPlan plan2;
+  g.machine.setFaultModel(&plan2);
+  double h1 = g.oneWayNs({g.nodeAt(0, 0, 0), kSlice0},
+                         {g.nodeAt(1, 0, 0), kSlice0}, 0);
+  Fixture g4;
+  fault::FaultPlan plan3;
+  g4.machine.setFaultModel(&plan3);
+  double h4 = g4.oneWayNs({g4.nodeAt(0, 0, 0), kSlice0},
+                          {g4.nodeAt(4, 0, 0), kSlice0}, 0);
+  EXPECT_DOUBLE_EQ((h4 - h1) / 3.0, 76.0);
+
+  const net::MachineStats& s = f.machine.stats();
+  EXPECT_EQ(s.crcRetransmits, 0u);
+  EXPECT_EQ(s.outageStalls, 0u);
+  EXPECT_EQ(s.routerStalls, 0u);
+  EXPECT_EQ(s.faultReroutes, 0u);
+  EXPECT_EQ(s.retransmitDelay, 0);
+  EXPECT_EQ(s.stallDelay, 0);
+  EXPECT_EQ(plan.stats().traversalsSeen, 1u);
+  EXPECT_EQ(plan.stats().corruptTraversals, 0u);
+}
+
+TEST(FaultPlan, CertainCorruptionChargesCalibratedPenalty) {
+  // BER = 1 makes every copy corrupt, so each traversal replays exactly the
+  // cap: latency = fault-free + cap * (serialization + turnaround).
+  fault::FaultConfig fc;
+  fc.bitErrorRate = 1.0;
+  fc.maxRetransmits = 2;
+  Fixture f;
+  fault::FaultPlan plan(fc);
+  f.machine.setFaultModel(&plan);
+  double ns = f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0},
+                         {f.nodeAt(1, 0, 0), kSlice0}, 0);
+  const net::LatencyConfig& lat = f.machine.latency();
+  double perReplay =
+      toNs(lat.linkSerialization(net::kHeaderBytes)) + lat.crcRetransmitNs;
+  EXPECT_NEAR(ns, 162.0 + 2 * perReplay, 1e-6);
+  EXPECT_EQ(f.machine.stats().crcRetransmits, 2u);
+  EXPECT_EQ(plan.stats().corruptTraversals, 1u);
+  EXPECT_EQ(plan.stats().replays, 2u);
+}
+
+TEST(FaultPlan, BitErrorsAreRepairedNotLost) {
+  // Heavy but non-certain BER: every packet still arrives (counters reach
+  // their targets), with retransmissions accounted for.
+  fault::FaultConfig fc;
+  fc.seed = 99;
+  fc.bitErrorRate = 1e-3;
+  Fixture f;
+  fault::FaultPlan plan(fc);
+  f.machine.setFaultModel(&plan);
+
+  const int kPackets = 200;
+  ClientAddr dst{f.nodeAt(1, 0, 0), kSlice0};
+  double done = -1.0;
+  auto receiver = [&]() -> Task {
+    co_await f.machine.client(dst).waitCounter(0, kPackets);
+    done = toNs(f.sim.now());
+  };
+  f.sim.spawn(receiver());
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  for (int i = 0; i < kPackets; ++i) f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_GE(done, 0.0) << "delivery hung under bit errors";
+  EXPECT_EQ(f.machine.stats().packetsDelivered, std::uint64_t(kPackets));
+  EXPECT_GT(f.machine.stats().crcRetransmits, 0u);
+  EXPECT_GT(f.machine.stats().retransmitDelay, 0);
+}
+
+TEST(FaultPlan, OutageStallsUntilWindowCloses) {
+  Fixture f;
+  fault::FaultPlan plan;
+  plan.addLinkOutage(0, /*dim=*/0, /*sign=*/+1, 0, sim::us(10));
+  f.machine.setFaultModel(&plan);
+  double ns = f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0},
+                         {f.nodeAt(1, 0, 0), kSlice0}, 0);
+  EXPECT_GT(ns, 10000.0);  // held for the 10 us window
+  EXPECT_LT(ns, 10000.0 + 200.0);
+  EXPECT_EQ(f.machine.stats().outageStalls, 1u);
+  EXPECT_GT(f.machine.stats().stallDelay, 0);
+}
+
+TEST(FaultPlan, DegradedModeRoutesAroundOutage) {
+  MachineConfig cfg;
+  cfg.faultReroute = true;
+  Fixture f({8, 8, 8}, cfg);
+  fault::FaultPlan plan;
+  plan.addLinkOutage(0, /*dim=*/0, /*sign=*/+1, 0, sim::us(1000));
+  f.machine.setFaultModel(&plan);
+  double ns = f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0},
+                         {f.nodeAt(1, 1, 0), kSlice0}, 0);
+  // Y-first avoids the dead X+ link entirely: no stall, two hops.
+  EXPECT_LT(ns, 400.0);
+  EXPECT_EQ(f.machine.stats().outageStalls, 0u);
+  EXPECT_EQ(f.machine.stats().faultReroutes, 1u);
+  EXPECT_EQ(f.machine.linkTraversals(0, 0, +1), 0u);
+  EXPECT_EQ(f.machine.linkTraversals(0, 1, +1), 1u);
+}
+
+TEST(FaultPlan, StalledRouterDelaysRingTraffic) {
+  Fixture f;
+  fault::FaultPlan plan;
+  plan.addRouterStall(f.nodeAt(1, 0, 0), 0, sim::us(5));
+  f.machine.setFaultModel(&plan);
+  double ns = f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0},
+                         {f.nodeAt(1, 0, 0), kSlice0}, 0);
+  EXPECT_GT(ns, 5000.0);
+  EXPECT_GE(f.machine.stats().routerStalls, 1u);
+}
+
+TEST(FaultPlan, FaultEventsAreTraced) {
+  fault::FaultConfig fc;
+  fc.bitErrorRate = 1.0;
+  fc.maxRetransmits = 1;
+  Fixture f;
+  trace::ActivityTrace tr;
+  f.machine.setTrace(&tr);
+  fault::FaultPlan plan(fc);
+  plan.addLinkOutage(0, 0, +1, 0, sim::ns(500));
+  f.machine.setFaultModel(&plan);
+  f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0}, {f.nodeAt(1, 0, 0), kSlice0}, 0);
+
+  int retx = tr.kind("retx"), outage = tr.kind("outage");
+  int xplus = tr.unit("link.X+");
+  EXPECT_GT(tr.busyTime(xplus, retx, 0, sim::us(1)), 0);
+  EXPECT_GT(tr.busyTime(xplus, outage, 0, sim::us(1)), 0);
+}
+
+TEST(Watchdog, TimesOutWithDiagnosticInsteadOfDeadlock) {
+  Fixture f({4, 4, 4});
+  NetworkClient& dst = f.machine.client({0, kSlice0});
+  core::WatchdogReport report;
+  auto waiter = [&]() -> Task {
+    core::CountedWriteWatchdog wd(dst, 0, sim::us(2));
+    wd.expectFrom(1, 1);
+    wd.expectFrom(2, 2);
+    report = co_await wd.wait(3);
+  };
+  f.sim.spawn(waiter());
+  // Node 1 sends its packet; node 2 never does.
+  NetworkClient::SendArgs args;
+  args.dst = dst.addr();
+  args.counterId = 0;
+  f.machine.client({1, kSlice0}).post(args);
+  f.sim.run();  // returns: the deadline event keeps the simulation live
+
+  EXPECT_TRUE(report.timedOut);
+  EXPECT_EQ(report.expected, 3u);
+  EXPECT_EQ(report.arrived, 1u);
+  EXPECT_DOUBLE_EQ(toNs(report.resolvedAt), 2000.0);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0].node, 2);
+  EXPECT_EQ(report.missing[0].expected, 2u);
+  EXPECT_EQ(report.missing[0].arrived, 0u);
+  EXPECT_NE(report.describe().find("TIMED OUT"), std::string::npos);
+  EXPECT_NE(report.describe().find("node 2"), std::string::npos);
+}
+
+TEST(Watchdog, ResolvesNormallyWhenTrafficArrives) {
+  Fixture f({4, 4, 4});
+  NetworkClient& dst = f.machine.client({0, kSlice1});
+  core::WatchdogReport report;
+  auto waiter = [&]() -> Task {
+    core::CountedWriteWatchdog wd(dst, 0, sim::us(100));
+    report = co_await wd.wait(2);
+  };
+  f.sim.spawn(waiter());
+  NetworkClient::SendArgs args;
+  args.dst = dst.addr();
+  args.counterId = 0;
+  f.machine.client({1, kSlice0}).post(args);
+  f.machine.client({2, kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_FALSE(report.timedOut);
+  EXPECT_EQ(report.arrived, 2u);
+  // Resolution is prompt (counter path), not at the 100 us deadline.
+  EXPECT_LT(toNs(report.resolvedAt), 1000.0);
+}
+
+TEST(Watchdog, TimeoutCanEnableDegradedRouting) {
+  Fixture f({4, 4, 4});
+  NetworkClient& dst = f.machine.client({0, kSlice0});
+  EXPECT_FALSE(f.machine.faultReroute());
+  auto waiter = [&]() -> Task {
+    core::CountedWriteWatchdog wd(dst, 0, sim::us(1));
+    wd.rerouteOnTimeout(true);
+    co_await wd.wait(1);  // nothing is ever sent
+  };
+  f.sim.spawn(waiter());
+  f.sim.run();
+  EXPECT_TRUE(f.machine.faultReroute());
+}
+
+TEST(FaultReport, SummaryReflectsCounters) {
+  fault::FaultConfig fc;
+  fc.bitErrorRate = 1.0;
+  fc.maxRetransmits = 1;
+  Fixture f;
+  fault::FaultPlan plan(fc);
+  f.machine.setFaultModel(&plan);
+  f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0}, {f.nodeAt(1, 0, 0), kSlice0}, 0);
+
+  std::ostringstream os;
+  fault::printFaultSummary(os, f.machine, &plan);
+  EXPECT_NE(os.str().find("CRC retransmits"), std::string::npos);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+  std::string line = fault::faultSummaryLine(f.machine.stats());
+  EXPECT_NE(line.find("retx=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anton
