@@ -67,6 +67,18 @@ net::LinkFaultOutcome FaultPlan::onLinkTraversal(int nodeIdx, int dim,
       stats_.replays += std::uint64_t(n);
       out.retransmits = n;
     }
+    if (n == cfg_.maxRetransmits) {
+      // The cap was reached with every copy corrupt so far. The hardware
+      // sends one final copy; if that too is corrupt, the link is declared
+      // failed for this traversal and the replica is dropped. Traversals
+      // that never hit the cap draw the exact same RNG sequence as before
+      // this escalation existed, so sub-cap timing is unchanged.
+      if (rng_.uniform() >= pGood) {
+        out.linkFailed = true;
+        ++stats_.linkFailures;
+        if (n == 0) ++stats_.corruptTraversals;  // cap 0: count the loss
+      }
+    }
   }
   return out;
 }

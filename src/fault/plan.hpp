@@ -31,9 +31,11 @@ namespace anton::fault {
 struct FaultConfig {
   std::uint64_t seed = 0x5eedULL;
   double bitErrorRate = 0.0;  ///< independent flip probability per wire bit
-  /// Replay cap per traversal: beyond this many consecutive corrupt copies
-  /// the traversal is let through (the real hardware would declare the link
-  /// failed; modeling that escalation is an open item in ROADMAP.md).
+  /// Replay cap per traversal. After this many consecutive corrupt copies
+  /// one final copy is attempted; if it is also corrupt the plan declares
+  /// the link failed for that traversal (LinkFaultOutcome::linkFailed) and
+  /// the machine drops the packet replica instead of silently delivering a
+  /// corrupt one. Recovery is then software's job (core/recovery.hpp).
   int maxRetransmits = 16;
 };
 
@@ -42,6 +44,8 @@ struct FaultPlanStats {
   std::uint64_t traversalsSeen = 0;
   std::uint64_t corruptTraversals = 0;  ///< traversals needing >= 1 replay
   std::uint64_t replays = 0;            ///< total corrupt copies replayed
+  std::uint64_t linkFailures = 0;       ///< traversals that exhausted the cap
+                                        ///< (packet replica dropped)
   std::uint64_t outageHits = 0;         ///< traversals landing in an outage
 };
 

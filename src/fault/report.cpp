@@ -14,6 +14,7 @@ void printFaultSummary(std::ostream& os, const net::Machine& machine,
   util::TablePrinter t({"fault event", "count", "time cost (us)"});
   t.addRow({"CRC retransmits", std::to_string(s.crcRetransmits),
             util::TablePrinter::num(sim::toUs(s.retransmitDelay), 3)});
+  t.addRow({"link failures (drops)", std::to_string(s.linkFailures), ""});
   t.addRow({"link-outage stalls", std::to_string(s.outageStalls), ""});
   t.addRow({"router stalls", std::to_string(s.routerStalls), ""});
   t.addRow({"outage+stall wait", "",
@@ -36,7 +37,8 @@ std::string faultSummaryLine(const net::MachineStats& s) {
   std::ostringstream os;
   os << "retx=" << s.crcRetransmits << " (+"
      << util::TablePrinter::num(sim::toUs(s.retransmitDelay), 3)
-     << " us) outages=" << s.outageStalls << " rstalls=" << s.routerStalls
+     << " us) linkfail=" << s.linkFailures << " outages=" << s.outageStalls
+     << " rstalls=" << s.routerStalls
      << " (+" << util::TablePrinter::num(sim::toUs(s.stallDelay), 3)
      << " us) reroutes=" << s.faultReroutes;
   return os.str();

@@ -98,7 +98,41 @@ AntonMdApp::AntonMdApp(net::Machine& machine, MDSystem system, AntonMdConfig cfg
           "spline halos)");
   }
 
+  if (cfg_.recoveryTimeoutUs > 0.0)
+    dropRegistry_ = std::make_unique<core::DropRegistry>(machine_);
+
   computeInitialForces();
+}
+
+// --- erasure recovery -------------------------------------------------------
+
+sim::Task AntonMdApp::awaitRecoverable(
+    net::NetworkClient& client, int counterId, std::uint64_t target,
+    const std::map<int, std::uint64_t>& expected) {
+  // `expected` is a reference on purpose: gcc's coroutine-frame copy of a
+  // non-trivial by-value parameter can alias the caller's argument, double-
+  // freeing the map nodes when both are destroyed. Callers pass a named map
+  // that outlives the co_await (it is consumed before the first suspension
+  // anyway).
+  if (!dropRegistry_) {
+    // Recovery disabled: a plain counter wait, schedule-identical to the
+    // pre-recovery app.
+    co_await client.waitCounter(counterId, target);
+    co_return;
+  }
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(cfg_.recoveryTimeoutUs);
+  rc.maxResends = cfg_.recoveryMaxResends;
+  rc.resendBackoff = sim::us(cfg_.recoveryBackoffUs);
+  core::RecoverableCountedWrite rcw(client, counterId, rc);
+  for (const auto& [src, packets] : expected) rcw.expectFrom(src, packets);
+  co_await rcw.await(target, [this](const core::WatchdogReport& r) {
+    return core::resendFromRegistry(machine_, *dropRegistry_, r);
+  });
+  recoveryStats_.timeouts += rcw.stats().timeouts;
+  recoveryStats_.rounds += rcw.stats().rounds;
+  recoveryStats_.resends += rcw.stats().resends;
+  recoveryStats_.hardFailures += rcw.stats().hardFailures;
 }
 
 // --- geometry ---------------------------------------------------------------
@@ -494,7 +528,15 @@ sim::Task AntonMdApp::htisPhase(int node) {
   for (int s : lowerShell_[std::size_t(node)])
     perRound += std::uint64_t(posFixed_[std::size_t(s)]);
   ns.posRounds += 1;
-  co_await htis.waitCounter(cfg_.ctrPos, ns.posRounds * perRound);
+  {
+    // Per-source cumulative expectation: fixed counts make it a product.
+    std::map<int, std::uint64_t> bySource;
+    bySource[node] = ns.posRounds * std::uint64_t(posFixed_[std::size_t(node)]);
+    for (int s : lowerShell_[std::size_t(node)])
+      bySource[s] = ns.posRounds * std::uint64_t(posFixed_[std::size_t(s)]);
+    co_await awaitRecoverable(htis, cfg_.ctrPos, ns.posRounds * perRound,
+                              bySource);
+  }
 
   // Decode the arrived records per source.
   std::vector<int> sources;
@@ -582,7 +624,15 @@ sim::Task AntonMdApp::bondedPhase(int node) {
 
   if (!slots.empty()) {
     ns.bondPosExpected += slots.size();
-    co_await slice0.waitCounter(cfg_.ctrBondPos, ns.bondPosExpected);
+    std::map<int, std::uint64_t> bySource;
+    if (dropRegistry_) {
+      // Each gathered atom is sent once per step by its current home node.
+      for (const auto& [gid, slot] : slots)
+        ++ns.bondPosBySource[homeOfGid_[std::size_t(gid)]];
+      bySource = ns.bondPosBySource;
+    }
+    co_await awaitRecoverable(slice0, cfg_.ctrBondPos, ns.bondPosExpected,
+                              bySource);
   }
 
   // Read the gathered positions and evaluate the assigned terms on the
@@ -946,6 +996,19 @@ sim::Task AntonMdApp::stepTask(int node, int stepNumber) {
     expect += atomTermNodes_[std::size_t(a.gid)].size();
   if (longRangeStep) expect += std::uint64_t(posFixed_[std::size_t(node)]);
   ns.forceExpected += expect;
+  if (dropRegistry_) {
+    // Per-source breakdown of the same expectation: HTIS force returns come
+    // from this node and every upper-shell importer (fixed count each),
+    // bonded returns from each term node (one per gathered atom), and the
+    // long-range self-accumulation from this node again.
+    auto& fbs = ns.forceBySource;
+    fbs[node] += std::uint64_t(posFixed_[std::size_t(node)]);
+    for (int u : upperShell_[std::size_t(node)])
+      fbs[u] += std::uint64_t(posFixed_[std::size_t(node)]);
+    for (const AtomRecord& a : ns.atoms)
+      for (int t : atomTermNodes_[std::size_t(a.gid)]) fbs[t] += 1;
+    if (longRangeStep) fbs[node] += std::uint64_t(posFixed_[std::size_t(node)]);
+  }
 
   // 3. Concurrent hardware phases.
   sim::Gate gate;
@@ -957,7 +1020,10 @@ sim::Task AntonMdApp::stepTask(int node, int stepNumber) {
   // 4. Integration: wait for every expected force packet, read, half-kick.
   net::AccumulationMemory& acc = machine_.accum(node, 0);
   sim::Time waitStart = machine_.sim().now();
-  co_await acc.waitCounter(cfg_.ctrForce, ns.forceExpected);
+  static const std::map<int, std::uint64_t> kNoSources;
+  co_await awaitRecoverable(
+      acc, cfg_.ctrForce, ns.forceExpected,
+      dropRegistry_ ? ns.forceBySource : kNoSources);
   current_.forceWaitUs = std::max(
       current_.forceWaitUs, sim::toUs(machine_.sim().now() - waitStart));
   if (auto* tr = machine_.trace())
@@ -1025,6 +1091,16 @@ void AntonMdApp::runSteps(int k) {
                           stepNumber % cfg_.thermostatInterval == 0;
     current_.migration = stepNumber % cfg_.migrationInterval == 0;
     lastMigrated_ = migratedTotal_;
+
+    if (dropRegistry_) {
+      // Refresh the gid -> home map (bonded receivers diagnose short senders
+      // by home node) and discard replay entries from completed steps.
+      homeOfGid_.assign(charges_.size(), -1);
+      for (int node = 0; node < machine_.numNodes(); ++node)
+        for (const AtomRecord& a : nodes_[std::size_t(node)].atoms)
+          homeOfGid_[std::size_t(a.gid)] = node;
+      dropRegistry_->prune(machine_.sim().now());
+    }
 
     sim::Time start = machine_.sim().now();
     for (int node = 0; node < machine_.numNodes(); ++node)

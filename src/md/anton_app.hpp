@@ -31,6 +31,7 @@
 #include "core/allreduce.hpp"
 #include "core/multicast.hpp"
 #include "core/neighborhood.hpp"
+#include "core/recovery.hpp"
 #include "fft/distributed.hpp"
 #include "md/engine.hpp"
 #include "net/machine.hpp"
@@ -70,6 +71,15 @@ struct AntonMdConfig {
   double migrateAtomNs = 120.0;   ///< per migrated atom bookkeeping
 
   double fixedPointScale = double(1 << 20);  ///< force/charge quantization
+
+  // Erasure recovery (core/recovery.hpp): when the fault model drops a
+  // packet at retransmit-cap exhaustion, the step's counted-write waits
+  // re-issue the missing data from a sender-side DropRegistry instead of
+  // hanging. 0 disables recovery entirely — no registry, no watchdogs, and
+  // step timing bit-identical to the recovery-free app.
+  double recoveryTimeoutUs = 0.0;  ///< per-attempt watchdog deadline
+  int recoveryMaxResends = 4;      ///< resend rounds before hard failure
+  double recoveryBackoffUs = 0.5;  ///< linear backoff between rounds
 
   // Resource layout (counter ids on the respective clients).
   int ctrPos = 10;       ///< HTIS: position packets
@@ -138,6 +148,15 @@ class AntonMdApp {
   /// host-side; the bond program is left untouched.
   void syntheticDiffusion(double swapFraction, std::uint64_t seed);
 
+  /// Aggregate erasure-recovery activity across all nodes and steps (zero
+  /// when recovery is disabled or no drop ever occurred).
+  const core::RecoveryStats& recoveryStats() const { return recoveryStats_; }
+  /// Packet drops observed by the registry (0 when recovery is disabled).
+  std::uint64_t dropsObserved() const {
+    return dropRegistry_ ? dropRegistry_->dropsObserved() : 0;
+  }
+  bool recoveryEnabled() const { return dropRegistry_ != nullptr; }
+
   /// Number of atoms migrated during the last migration phase.
   std::uint64_t lastMigrationCount() const { return lastMigrated_; }
   /// Total atoms migrated since construction.
@@ -163,6 +182,10 @@ class AntonMdApp {
     std::uint64_t potRounds = 0;
     std::uint64_t bondPosExpected = 0;
     std::uint64_t flushRounds = 0;
+    // Cumulative per-source expectations (recovery only: per-source missing
+    // diagnosis requires knowing what each sender owes).
+    std::map<int, std::uint64_t> bondPosBySource;
+    std::map<int, std::uint64_t> forceBySource;
   };
 
   // --- setup -------------------------------------------------------------
@@ -179,6 +202,13 @@ class AntonMdApp {
 
   // --- per-step tasks ----------------------------------------------------
   sim::Task stepTask(int node, int stepNumber);
+  /// Counted-write wait with erasure recovery when enabled; a plain
+  /// waitCounter (identical event schedule) when disabled. `expected` maps
+  /// source node -> cumulative packet expectation for diagnosis + resend;
+  /// the referenced map must outlive the co_await (callers pass named maps).
+  sim::Task awaitRecoverable(net::NetworkClient& client, int counterId,
+                             std::uint64_t target,
+                             const std::map<int, std::uint64_t>& expected);
   sim::Task sendPositions(int node);
   sim::Task bondedPhase(int node);
   sim::Task htisPhase(int node);
@@ -239,6 +269,12 @@ class AntonMdApp {
   /// Solvent molecules (connected bond components of <= 4 atoms), used by
   /// syntheticDiffusion.
   std::vector<std::vector<int>> solventMolecules_;
+
+  std::unique_ptr<core::DropRegistry> dropRegistry_;  ///< recovery only
+  core::RecoveryStats recoveryStats_;
+  /// Current home node of every atom gid, refreshed host-side before each
+  /// step (recovery only: bonded receivers diagnose senders by home node).
+  std::vector<int> homeOfGid_;
 
   std::unique_ptr<core::PatternAllocator> patterns_;
   std::unique_ptr<core::NeighborhoodSync> migrationSync_;

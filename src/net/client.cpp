@@ -30,24 +30,34 @@ void NetworkClient::CounterWait::await_suspend(std::coroutine_handle<> h) const 
     // Already satisfied: the poll still costs one successful-poll latency.
     client.machine_.sim().resumeAfter(client.pollLatency(), h);
   } else {
-    c.waiters.push_back({target, [h] { h.resume(); }});
+    c.waiters.push_back({target, 0, [h] { h.resume(); }});
   }
 }
 
-void NetworkClient::onCounter(int id, std::uint64_t target,
-                              std::function<void()> fn) {
+std::uint64_t NetworkClient::onCounter(int id, std::uint64_t target,
+                                       std::function<void()> fn) {
   checkCounter(id);
   SyncCounter& c = counters_[std::size_t(id)];
   if (c.value >= target) {
     machine_.sim().after(pollLatency(), std::move(fn));
-  } else {
-    c.waiters.push_back({target, std::move(fn)});
+    return 0;
   }
+  std::uint64_t token = ++waiterSeq_;
+  c.waiters.push_back({target, token, std::move(fn)});
+  return token;
 }
 
-void NetworkClient::trackCounterSources(int id) {
+bool NetworkClient::cancelCounterWaiter(int id, std::uint64_t token) {
+  if (token == 0) return false;
   checkCounter(id);
-  srcTally_.try_emplace(id);
+  SyncCounter& c = counters_[std::size_t(id)];
+  for (auto it = c.waiters.begin(); it != c.waiters.end(); ++it) {
+    if (it->token == token) {
+      c.waiters.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::map<int, std::uint64_t> NetworkClient::counterSources(int id) const {
@@ -58,10 +68,7 @@ std::map<int, std::uint64_t> NetworkClient::counterSources(int id) const {
 void NetworkClient::bumpCounter(int id, sim::Time /*now*/, int srcNode) {
   SyncCounter& c = counters_[std::size_t(id)];
   ++c.value;
-  if (!srcTally_.empty() && srcNode >= 0) {
-    auto it = srcTally_.find(id);
-    if (it != srcTally_.end()) ++it->second[srcNode];
-  }
+  if (srcNode >= 0) ++srcTally_[id][srcNode];
   // Wake every poller whose threshold is now met; each resumes after the
   // polling latency of this client's counter bank.
   for (auto it = c.waiters.begin(); it != c.waiters.end();) {

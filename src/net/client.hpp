@@ -28,11 +28,15 @@ class Machine;
 
 /// One synchronization counter: a monotonically increasing packet count plus
 /// the list of wake actions polling it for a threshold (coroutine resumes
-/// and watchdog callbacks alike).
+/// and watchdog callbacks alike). Waiters carry a cancellation token so the
+/// loser of a counter/deadline race can be retracted instead of lingering
+/// forever (counters never reset, so an unmet threshold would otherwise pin
+/// its callback for the life of the client).
 struct SyncCounter {
   std::uint64_t value = 0;
   struct Waiter {
     std::uint64_t target;
+    std::uint64_t token;  ///< cancellation handle (0 = not cancellable)
     std::function<void()> wake;
   };
   std::vector<Waiter> waiters;
@@ -92,14 +96,26 @@ class NetworkClient {
   /// One-shot callback: invoke `fn` (after this client's poll latency) once
   /// counters[id] >= target; scheduled immediately if already met. The
   /// machinery behind the counted-write watchdog (core/watchdog.hpp).
-  void onCounter(int id, std::uint64_t target, std::function<void()> fn);
+  /// Returns a token for cancelCounterWaiter, or 0 when the threshold was
+  /// already met (the callback is then a scheduled event, not a waiter).
+  std::uint64_t onCounter(int id, std::uint64_t target, std::function<void()> fn);
 
-  /// Opt in to per-source bookkeeping on counter `id`: subsequent increments
-  /// record the source node of the delivering packet. Used by watchdog
-  /// diagnostics to name the missing senders of a timed-out counted write.
-  void trackCounterSources(int id);
-  /// Arrival tally (source node -> packets) of a tracked counter; empty for
-  /// untracked counters.
+  /// Retract a pending onCounter callback by its token. Returns true if the
+  /// waiter was found (and removed) before it fired. Cancelling an
+  /// already-woken or unknown token is a harmless no-op.
+  bool cancelCounterWaiter(int id, std::uint64_t token);
+
+  /// Number of wake actions currently parked on counter `id` (observability
+  /// for leak tests and diagnostics).
+  std::size_t counterWaiters(int id) const {
+    return counters_.at(std::size_t(id)).waiters.size();
+  }
+
+  /// Arrival tally (source node -> packets) of a counter. Sources are
+  /// tracked from counter creation — every counted delivery records its
+  /// source node — so a watchdog attaching mid-stream (expectFrom after
+  /// packets already arrived) still sees the full history and does not
+  /// overstate the missing packets.
   std::map<int, std::uint64_t> counterSources(int id) const;
 
   /// Latency of one successful poll of this client's counters, as seen by
@@ -145,7 +161,10 @@ class NetworkClient {
   ClientAddr addr_;
   std::vector<std::byte> mem_;
   std::vector<SyncCounter> counters_;
-  std::map<int, std::map<int, std::uint64_t>> srcTally_;  ///< tracked counters
+  std::uint64_t waiterSeq_ = 0;  ///< cancellation-token source (0 reserved)
+  /// Per-counter source tally (counter id -> source node -> packets),
+  /// maintained from the first counted delivery onward.
+  std::map<int, std::map<int, std::uint64_t>> srcTally_;
 };
 
 /// A processing slice: one Tensilica core plus two geometry cores. Programs

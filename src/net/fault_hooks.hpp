@@ -31,6 +31,14 @@ struct LinkFaultOutcome {
   int retransmits = 0;
   /// Time the adapter holds the packet before transmission (link outage).
   sim::Time stall = 0;
+  /// The link layer exhausted its retransmit budget: every copy (original
+  /// plus `retransmits` replays) was corrupt, so the hardware declares the
+  /// link failed and DROPS the packet. The machine records the loss
+  /// (MachineStats::linkFailures, "linkfail" trace kind, drop handler) and
+  /// schedules no delivery — loss becomes an observable condition for the
+  /// software erasure-recovery layer (core/recovery.hpp) instead of a
+  /// silently-delivered corrupt packet.
+  bool linkFailed = false;
 };
 
 class FaultModel {

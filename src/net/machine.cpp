@@ -39,6 +39,7 @@ void Machine::setTrace(trace::ActivityTrace* t) {
   traceRetxKind_ = t->kind("retx");
   traceOutageKind_ = t->kind("outage");
   traceRstallKind_ = t->kind("rstall");
+  traceLinkFailKind_ = t->kind("linkfail");
   traceFaultUnit_ = t->unit("fault");
 }
 
@@ -165,6 +166,7 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
   sim::Time depart = std::max(atAdapter, l.busyUntil);
   sim::Time ser = lat.linkSerialization(p->wireBytes());
   const int adapterIdx = RingLayout::adapterIndex(dim, sign);
+  bool linkFailed = false;
   if (fault_ != nullptr) {
     LinkFaultOutcome out =
         fault_->onLinkTraversal(nodeIdx, dim, sign, p->wireBytes(), depart);
@@ -189,14 +191,30 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
                        traceRetxKind_, depart, depart + penalty);
       depart += penalty;
     }
+    linkFailed = out.linkFailed;
   }
   l.busyUntil = depart + ser;
   ++l.traversals;
   ++stats_.linkTraversals;
   stats_.wireBytes += p->wireBytes();
   if (trace_ != nullptr) {
-    trace_->record(traceLinkUnits_[std::size_t(adapterIdx)], traceKind_, depart,
+    trace_->record(traceLinkUnits_[std::size_t(adapterIdx)],
+                   linkFailed ? traceLinkFailKind_ : traceKind_, depart,
                    depart + std::max<sim::Time>(ser, 1));
+  }
+
+  if (linkFailed) {
+    // The link layer exhausted its retransmit budget: the final copy also
+    // arrived corrupt, so the hardware drops this replica. The wire time was
+    // spent (busy window, traversal, byte accounting above) but nothing is
+    // scheduled beyond the link — loss is now a software-visible condition.
+    ++stats_.linkFailures;
+    if (dropHandler_) {
+      util::TorusCoord nc =
+          torusNeighbor(util::torusCoordOf(nodeIdx, shape_), dim, sign, shape_);
+      dropHandler_(p, downstreamReceivers(p, util::torusIndex(nc, shape_)));
+    }
+    return;
   }
 
   // Wormhole switching: the head proceeds after the wire delay; the tail
@@ -216,6 +234,36 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
   sim_.at(atRing, [this, p, nextIdx, entryAdapterRouter, dim, sign, atRing] {
     routeFrom(p, nextIdx, entryAdapterRouter, dim, sign, atRing);
   });
+}
+
+std::vector<ClientAddr> Machine::downstreamReceivers(const PacketPtr& p,
+                                                     int nodeIdx) {
+  if (p->multicastPattern == kNoMulticast) return {p->dst};
+  // Walk the static fan-out tree exactly as routeFrom would have: clientMask
+  // bits are deliveries at this node, linkMask bits continue the walk. The
+  // visited guard makes a (malformed) cyclic pattern terminate.
+  std::vector<ClientAddr> out;
+  std::vector<char> visited(std::size_t(shape_.size()), 0);
+  std::vector<int> stack{nodeIdx};
+  while (!stack.empty()) {
+    int idx = stack.back();
+    stack.pop_back();
+    if (visited[std::size_t(idx)]) continue;
+    visited[std::size_t(idx)] = 1;
+    const MulticastEntry& e = node(idx).multicast(p->multicastPattern);
+    for (int c = 0; c < kClientsPerNode; ++c)
+      if (e.clientMask & (1u << c)) out.push_back({idx, c});
+    for (int a = 0; a < 6; ++a) {
+      if (e.linkMask & (1u << a)) {
+        int dim = a / 2;
+        int sign = (a % 2 == 0) ? +1 : -1;
+        util::TorusCoord nc =
+            torusNeighbor(util::torusCoordOf(idx, shape_), dim, sign, shape_);
+        stack.push_back(util::torusIndex(nc, shape_));
+      }
+    }
+  }
+  return out;
 }
 
 void Machine::deliverLocal(const PacketPtr& p, int nodeIdx, int entryRouter,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,9 @@ struct MachineStats {
   std::uint64_t wireBytes = 0;       ///< bytes crossing inter-node links
   std::uint64_t multicastForks = 0;  ///< replicas created by multicast fan-out
   std::uint64_t crcRetransmits = 0;  ///< corrupt link transmissions replayed
+  std::uint64_t linkFailures = 0;    ///< traversals that exhausted the
+                                     ///< retransmit cap; the packet replica
+                                     ///< was dropped (erased) on that link
   std::uint64_t outageStalls = 0;    ///< traversals held by a link outage
   std::uint64_t routerStalls = 0;    ///< node visits delayed by a stalled ring
   std::uint64_t faultReroutes = 0;   ///< packets sent via a non-preferred dim
@@ -112,6 +116,19 @@ class Machine {
   void setFaultReroute(bool on) { faultReroute_ = on; }
   bool faultReroute() const { return faultReroute_; }
 
+  /// Observer of link-failed packet drops: called once per dropped replica
+  /// with the packet and the set of destination clients the replica would
+  /// still have reached (for multicast, the subtree beyond the failed link).
+  /// The software recovery layer (core::DropRegistry) uses this as its
+  /// replay buffer feed. Pass nullptr to detach.
+  using DropHandler =
+      std::function<void(const PacketPtr&, const std::vector<ClientAddr>&)>;
+  void setDropHandler(DropHandler h) { dropHandler_ = std::move(h); }
+
+  /// Destination clients a packet entering `nodeIdx` would reach (multicast:
+  /// the pattern subtree rooted there; unicast: its single destination).
+  std::vector<ClientAddr> downstreamReceivers(const PacketPtr& p, int nodeIdx);
+
  private:
   friend class NetworkClient;
 
@@ -157,9 +174,11 @@ class Machine {
   int traceRetxKind_ = 0;
   int traceOutageKind_ = 0;
   int traceRstallKind_ = 0;
+  int traceLinkFailKind_ = 0;
   int traceFaultUnit_ = 0;
   FaultModel* fault_ = nullptr;
   bool faultReroute_ = false;
+  DropHandler dropHandler_;
 };
 
 }  // namespace anton::net

@@ -5,9 +5,24 @@
 
 namespace anton::sim {
 
+namespace {
+/// Completed root-task frames are reaped every this many events, so
+/// long-running simulations (millions of MD-step events) don't accumulate
+/// every finished coroutine frame until the queue drains.
+constexpr std::uint64_t kReapInterval = 1024;
+}  // namespace
+
 void Simulator::at(Time t, Callback fn) {
   if (t < now_) throw std::logic_error("Simulator::at: event scheduled in the past");
-  queue_.push(Event{t, nextSeq_++, std::move(fn)});
+  queue_.push(Event{t, nextSeq_++, std::move(fn), nullptr});
+}
+
+Simulator::EventHandle Simulator::atCancellable(Time t, Callback fn) {
+  if (t < now_)
+    throw std::logic_error("Simulator::atCancellable: event scheduled in the past");
+  EventHandle h = std::make_shared<bool>(false);
+  queue_.push(Event{t, nextSeq_++, std::move(fn), h});
+  return h;
 }
 
 void Simulator::spawn(Task task) {
@@ -27,7 +42,15 @@ void Simulator::reapRoots() {
   }
 }
 
+void Simulator::purgeCancelled() {
+  // Cancelled events are discarded unexecuted and leave now_ untouched: a
+  // retracted deadline must not stretch the simulated timeline.
+  while (!queue_.empty() && queue_.top().cancelled && *queue_.top().cancelled)
+    queue_.pop();
+}
+
 bool Simulator::step() {
+  purgeCancelled();
   if (queue_.empty()) return false;
   // priority_queue::top is const; the event is copied cheaply (shared_ptr-free
   // callbacks are moved via const_cast, a standard pattern for pop-and-run).
@@ -41,16 +64,20 @@ bool Simulator::step() {
 
 std::uint64_t Simulator::run() {
   std::uint64_t n = 0;
-  while (step()) ++n;
+  while (step()) {
+    if (++n % kReapInterval == 0) reapRoots();
+  }
   reapRoots();
   return n;
 }
 
 std::uint64_t Simulator::runUntil(Time deadline) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= deadline) {
+  while (true) {
+    purgeCancelled();
+    if (queue_.empty() || queue_.top().t > deadline) break;
     step();
-    ++n;
+    if (++n % kReapInterval == 0) reapRoots();
   }
   if (now_ < deadline) now_ = deadline;
   reapRoots();

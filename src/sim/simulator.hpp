@@ -9,6 +9,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -21,15 +22,33 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  /// Handle of a cancellable event: call cancel() (or set *handle = true) to
+  /// retract it. A cancelled event is discarded without executing and —
+  /// crucially — without advancing simulated time, so retracting a pending
+  /// deadline leaves the timeline bit-identical to never scheduling it.
+  using EventHandle = std::shared_ptr<bool>;
+  static void cancel(const EventHandle& h) {
+    if (h) *h = true;
+  }
+
   Time now() const { return now_; }
   std::uint64_t eventsProcessed() const { return processed_; }
   bool empty() const { return queue_.empty(); }
+  /// Root tasks not yet reaped (live coroutine frames held by the kernel).
+  std::size_t liveRoots() const { return roots_.size(); }
 
   /// Schedule `fn` at absolute simulated time `t` (must be >= now).
   void at(Time t, Callback fn);
 
   /// Schedule `fn` after a relative delay (>= 0).
   void after(Time delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Cancellable forms of at()/after() (deadline timers that may be
+  /// retracted by whichever signal wins a race).
+  EventHandle atCancellable(Time t, Callback fn);
+  EventHandle afterCancellable(Time delay, Callback fn) {
+    return atCancellable(now_ + delay, std::move(fn));
+  }
 
   /// Resume a suspended coroutine after `delay`.
   void resumeAfter(Time delay, std::coroutine_handle<> h) {
@@ -71,6 +90,7 @@ class Simulator {
     Time t;
     std::uint64_t seq;
     Callback fn;
+    EventHandle cancelled;  ///< null for ordinary (non-cancellable) events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -78,6 +98,7 @@ class Simulator {
     }
   };
 
+  void purgeCancelled();
   void reapRoots();
 
   Time now_ = 0;

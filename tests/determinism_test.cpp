@@ -139,5 +139,63 @@ TEST(Determinism, MdPositionsBitIdenticalWithZeroFaultPlan) {
   }
 }
 
+TEST(Determinism, MdRecoveryArmedButIdleIsTimingInvisible) {
+  // Erasure recovery armed (watchdogs on every counted wait, drop registry
+  // installed) under a zero-fault plan: no drop ever occurs, so the
+  // trajectory AND the per-step timings must be bit-identical to the
+  // recovery-free, plan-free run. This pins the watchdog wake path to the
+  // plain waitCounter schedule and the cancelled deadline events to zero
+  // timeline cost.
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = 1536;
+  sp.temperature = 0.8;
+  sp.seed = 11;
+  md::MDSystem sys = md::buildSyntheticSystem(sp);
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.migrationInterval = 2;
+  cfg.longRangeInterval = 2;
+
+  struct Out {
+    md::MDSystem sys;
+    std::vector<double> stepUs;
+    sim::Time finalTime = 0;
+    std::uint64_t timeouts = 0;
+  };
+  auto run = [&](bool recovery, fault::FaultPlan* plan) {
+    md::AntonMdConfig c = cfg;
+    // Generous deadline: it must exceed every natural wait in the step, or
+    // a spurious timeout would fire (and perturb timing) with no drop.
+    if (recovery) c.recoveryTimeoutUs = 10000.0;
+    sim::Simulator sim;
+    net::Machine m(sim, {4, 4, 4});
+    if (plan != nullptr) m.setFaultModel(plan);
+    md::AntonMdApp app(m, sys, c);
+    app.runSteps(3);
+    Out out{app.gatherSystem(), {}, sim.now(), app.recoveryStats().timeouts};
+    for (const md::StepTiming& t : app.stepTimings())
+      out.stepUs.push_back(t.totalUs);
+    return out;
+  };
+  Out bare = run(false, nullptr);
+  fault::FaultPlan idle;
+  Out armed = run(true, &idle);
+
+  EXPECT_EQ(armed.timeouts, 0u);
+  EXPECT_EQ(bare.finalTime, armed.finalTime);
+  ASSERT_EQ(bare.stepUs.size(), armed.stepUs.size());
+  for (std::size_t i = 0; i < bare.stepUs.size(); ++i)
+    EXPECT_EQ(bare.stepUs[i], armed.stepUs[i]) << "step " << i;
+  ASSERT_EQ(bare.sys.numAtoms(), armed.sys.numAtoms());
+  for (int i = 0; i < bare.sys.numAtoms(); ++i) {
+    EXPECT_EQ(bare.sys.positions[std::size_t(i)],
+              armed.sys.positions[std::size_t(i)]);
+    EXPECT_EQ(bare.sys.velocities[std::size_t(i)],
+              armed.sys.velocities[std::size_t(i)]);
+  }
+}
+
 }  // namespace
 }  // namespace anton

@@ -89,24 +89,55 @@ TEST(FaultPlan, ZeroFaultPlanIsTimingInvisible) {
   EXPECT_EQ(plan.stats().corruptTraversals, 0u);
 }
 
-TEST(FaultPlan, CertainCorruptionChargesCalibratedPenalty) {
-  // BER = 1 makes every copy corrupt, so each traversal replays exactly the
-  // cap: latency = fault-free + cap * (serialization + turnaround).
+TEST(FaultPlan, CapExhaustionDropsPacketAndRaisesLinkFailure) {
+  // BER = 1 makes every copy corrupt: the traversal replays exactly the cap,
+  // the final copy is also corrupt, and the hardware drops the packet
+  // instead of silently delivering it. The loss is observable: stats, trace
+  // kind, drop handler — and the counter never bumps.
   fault::FaultConfig fc;
   fc.bitErrorRate = 1.0;
   fc.maxRetransmits = 2;
   Fixture f;
+  trace::ActivityTrace tr;
+  f.machine.setTrace(&tr);
   fault::FaultPlan plan(fc);
   f.machine.setFaultModel(&plan);
-  double ns = f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0},
-                         {f.nodeAt(1, 0, 0), kSlice0}, 0);
-  const net::LatencyConfig& lat = f.machine.latency();
-  double perReplay =
-      toNs(lat.linkSerialization(net::kHeaderBytes)) + lat.crcRetransmitNs;
-  EXPECT_NEAR(ns, 162.0 + 2 * perReplay, 1e-6);
+
+  net::PacketPtr dropped;
+  std::vector<ClientAddr> denied;
+  f.machine.setDropHandler(
+      [&](const net::PacketPtr& p, const std::vector<ClientAddr>& d) {
+        dropped = p;
+        denied = d;
+      });
+
+  ClientAddr dst{f.nodeAt(1, 0, 0), kSlice0};
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  args.inOrder = true;
+  f.machine.client({f.nodeAt(0, 0, 0), kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_EQ(f.machine.client(dst).counterValue(0), 0u) << "dropped packet bumped";
+  EXPECT_EQ(f.machine.stats().packetsDelivered, 0u);
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u);
   EXPECT_EQ(f.machine.stats().crcRetransmits, 2u);
+  // The exhausted replays still charged the calibrated penalty.
+  const net::LatencyConfig& lat = f.machine.latency();
+  sim::Time perReplay =
+      lat.linkSerialization(net::kHeaderBytes) + sim::ns(lat.crcRetransmitNs);
+  EXPECT_EQ(f.machine.stats().retransmitDelay, 2 * perReplay);
   EXPECT_EQ(plan.stats().corruptTraversals, 1u);
   EXPECT_EQ(plan.stats().replays, 2u);
+  EXPECT_EQ(plan.stats().linkFailures, 1u);
+  // The drop handler saw the packet and the lost receiver.
+  ASSERT_NE(dropped, nullptr);
+  ASSERT_EQ(denied.size(), 1u);
+  EXPECT_EQ(denied[0], dst);
+  // The failed transmission is traced under its own kind.
+  EXPECT_GT(tr.busyTime(tr.unit("link.X+"), tr.kind("linkfail"), 0, sim::us(1)),
+            0);
 }
 
 TEST(FaultPlan, BitErrorsAreRepairedNotLost) {
@@ -190,12 +221,21 @@ TEST(FaultPlan, FaultEventsAreTraced) {
   fault::FaultPlan plan(fc);
   plan.addLinkOutage(0, 0, +1, 0, sim::ns(500));
   f.machine.setFaultModel(&plan);
-  f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0}, {f.nodeAt(1, 0, 0), kSlice0}, 0);
+  // BER = 1 with cap 1 drops the packet at the first link; every fault event
+  // on the way is traced under its own kind.
+  NetworkClient::SendArgs args;
+  args.dst = {f.nodeAt(1, 0, 0), kSlice0};
+  args.counterId = 0;
+  args.inOrder = true;
+  f.machine.client({f.nodeAt(0, 0, 0), kSlice0}).post(args);
+  f.sim.run();
 
   int retx = tr.kind("retx"), outage = tr.kind("outage");
+  int linkfail = tr.kind("linkfail");
   int xplus = tr.unit("link.X+");
   EXPECT_GT(tr.busyTime(xplus, retx, 0, sim::us(1)), 0);
   EXPECT_GT(tr.busyTime(xplus, outage, 0, sim::us(1)), 0);
+  EXPECT_GT(tr.busyTime(xplus, linkfail, 0, sim::us(1)), 0);
 }
 
 TEST(Watchdog, TimesOutWithDiagnosticInsteadOfDeadlock) {
@@ -271,14 +311,22 @@ TEST(FaultReport, SummaryReflectsCounters) {
   Fixture f;
   fault::FaultPlan plan(fc);
   f.machine.setFaultModel(&plan);
-  f.oneWayNs({f.nodeAt(0, 0, 0), kSlice0}, {f.nodeAt(1, 0, 0), kSlice0}, 0);
+  // The packet replays once, then drops at cap exhaustion.
+  NetworkClient::SendArgs args;
+  args.dst = {f.nodeAt(1, 0, 0), kSlice0};
+  args.counterId = 0;
+  args.inOrder = true;
+  f.machine.client({f.nodeAt(0, 0, 0), kSlice0}).post(args);
+  f.sim.run();
 
   std::ostringstream os;
   fault::printFaultSummary(os, f.machine, &plan);
   EXPECT_NE(os.str().find("CRC retransmits"), std::string::npos);
+  EXPECT_NE(os.str().find("link failures (drops)"), std::string::npos);
   EXPECT_NE(os.str().find("1"), std::string::npos);
   std::string line = fault::faultSummaryLine(f.machine.stats());
   EXPECT_NE(line.find("retx=1"), std::string::npos);
+  EXPECT_NE(line.find("linkfail=1"), std::string::npos);
 }
 
 }  // namespace

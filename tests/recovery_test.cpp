@@ -1,0 +1,317 @@
+// End-to-end erasure recovery: link-failure drops must be observable and
+// recoverable. Covers the watchdog race-loser cancellation (no stale counter
+// waiters, no deadline stretching the timeline), expectFrom diagnosis over
+// the full arrival history, the DropRegistry replay buffer, and the
+// RecoverableCountedWrite retry loop — including exact multicast recovery
+// (only denied receivers are re-sent to) and the bounded-budget hard
+// failure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "core/watchdog.hpp"
+#include "net/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace anton {
+namespace {
+
+using net::ClientAddr;
+using net::kSlice0;
+using net::Machine;
+using net::NetworkClient;
+using sim::Task;
+
+struct Fixture {
+  sim::Simulator sim;
+  Machine machine;
+  explicit Fixture(util::TorusShape shape = {4, 4, 4}) : machine(sim, shape) {}
+  int nodeAt(int x, int y, int z) {
+    return util::torusIndex({x, y, z}, machine.shape());
+  }
+};
+
+/// Deterministic fault model: declares the link failed (packet dropped) on
+/// exactly the traversal indices in `dropAt`; all other traversals are clean.
+struct DropTraversals final : net::FaultModel {
+  std::vector<int> dropAt;
+  int seen = 0;
+  explicit DropTraversals(std::vector<int> idx) : dropAt(std::move(idx)) {}
+  net::LinkFaultOutcome onLinkTraversal(int, int, int, std::size_t,
+                                        sim::Time) override {
+    net::LinkFaultOutcome out;
+    for (int i : dropAt)
+      if (i == seen) out.linkFailed = true;
+    ++seen;
+    return out;
+  }
+  bool linkDown(int, int, int, sim::Time) const override { return false; }
+  sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+};
+
+/// Drops every traversal: nothing ever gets through.
+struct DropEverything final : net::FaultModel {
+  net::LinkFaultOutcome onLinkTraversal(int, int, int, std::size_t,
+                                        sim::Time) override {
+    return {.linkFailed = true};
+  }
+  bool linkDown(int, int, int, sim::Time) const override { return false; }
+  sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+};
+
+// --- watchdog race cancellation -------------------------------------------
+
+TEST(Watchdog, TimeoutCancelsTheCounterWaiter) {
+  // A timed-out wait must not leave its wake callback parked on the counter
+  // forever (counters never reset, so an unmet target would pin it — and
+  // the frames it captures — for the life of the client).
+  Fixture f;
+  NetworkClient& dst = f.machine.client({0, kSlice0});
+  core::WatchdogReport report;
+  auto waiter = [&]() -> Task {
+    core::CountedWriteWatchdog wd(dst, 0, sim::us(1));
+    report = co_await wd.wait(5);  // nothing is ever sent
+  };
+  f.sim.spawn(waiter());
+  f.sim.run();
+  EXPECT_TRUE(report.timedOut);
+  EXPECT_EQ(dst.counterWaiters(0), 0u) << "stale counter waiter leaked";
+}
+
+TEST(Watchdog, CounterWinCancelsTheDeadline) {
+  // When the counter is met first, the pending deadline must be retracted:
+  // run() drains the queue, so a surviving deadline event would stretch
+  // simulated time to the full timeout.
+  Fixture f;
+  NetworkClient& dst = f.machine.client({0, kSlice0});
+  core::WatchdogReport report;
+  auto waiter = [&]() -> Task {
+    core::CountedWriteWatchdog wd(dst, 0, sim::us(1000));
+    report = co_await wd.wait(1);
+  };
+  f.sim.spawn(waiter());
+  NetworkClient::SendArgs args;
+  args.dst = dst.addr();
+  args.counterId = 0;
+  f.machine.client({f.nodeAt(1, 0, 0), kSlice0}).post(args);
+  f.sim.run();
+  EXPECT_FALSE(report.timedOut);
+  EXPECT_EQ(dst.counterWaiters(0), 0u);
+  EXPECT_LT(f.sim.now(), sim::us(1000)) << "dead deadline stretched the run";
+}
+
+TEST(Watchdog, ExpectFromAfterArrivalsSeesFullHistory) {
+  // Sources are tallied from counter creation, so a watchdog declaring its
+  // expectations after packets have already arrived must still credit them
+  // (the old per-call opt-in lost every pre-tracking increment and
+  // overstated the missing packets).
+  Fixture f;
+  NetworkClient& dst = f.machine.client({0, kSlice0});
+  const int src1 = f.nodeAt(1, 0, 0), src2 = f.nodeAt(2, 0, 0);
+  NetworkClient::SendArgs args;
+  args.dst = dst.addr();
+  args.counterId = 0;
+  f.machine.client({src1, kSlice0}).post(args);  // 1 of 2 expected
+  f.machine.client({src2, kSlice0}).post(args);  // 2 of 2 expected
+  f.machine.client({src2, kSlice0}).post(args);
+  f.sim.run();  // all three arrive BEFORE any expectation is declared
+
+  core::WatchdogReport report;
+  auto waiter = [&]() -> Task {
+    core::CountedWriteWatchdog wd(dst, 0, sim::us(1));
+    wd.expectFrom(src1, 2);
+    wd.expectFrom(src2, 2);
+    report = co_await wd.wait(4);  // 3 arrived; src1 still owes one
+  };
+  f.sim.spawn(waiter());
+  f.sim.run();
+
+  EXPECT_TRUE(report.timedOut);
+  EXPECT_EQ(report.arrived, 3u);
+  ASSERT_EQ(report.missing.size(), 1u) << "pre-tracking arrivals were lost";
+  EXPECT_EQ(report.missing[0].node, src1);
+  EXPECT_EQ(report.missing[0].arrived, 1u);
+  EXPECT_EQ(report.missing[0].expected, 2u);
+}
+
+// --- drop registry ---------------------------------------------------------
+
+TEST(DropRegistry, TakeConsumesPerReceiver) {
+  Fixture f;
+  core::DropRegistry reg(f.machine);
+  DropTraversals fm({0});
+  f.machine.setFaultModel(&fm);
+
+  ClientAddr dst{f.nodeAt(1, 0, 0), kSlice0};
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 3;
+  args.inOrder = true;
+  f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_EQ(reg.dropsObserved(), 1u);
+  EXPECT_EQ(reg.pending(), 1u);
+  EXPECT_TRUE(reg.take(/*counterId=*/0, 0, dst).empty()) << "wrong counter";
+  EXPECT_TRUE(reg.take(3, /*srcNode=*/5, dst).empty()) << "wrong source";
+  auto got = reg.take(3, 0, dst);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->counterId, 3);
+  EXPECT_TRUE(reg.take(3, 0, dst).empty()) << "take must consume";
+  EXPECT_EQ(reg.pending(), 0u);
+  reg.prune(f.sim.now() + 1);
+  EXPECT_EQ(reg.dropsObserved(), 1u);  // prune never forgets the tally
+}
+
+// --- end-to-end recovery ---------------------------------------------------
+
+TEST(Recovery, DroppedCountedWriteIsResentAndCompletes) {
+  // Unicast e2e: 3 counted writes, the first one dropped at cap exhaustion.
+  // The recoverable wait times out, diagnoses the short source, replays the
+  // lost payload from the registry, and completes — with the data intact.
+  Fixture f;
+  core::DropRegistry reg(f.machine);
+  DropTraversals fm({0});
+  f.machine.setFaultModel(&fm);
+
+  const int srcNode = f.nodeAt(1, 0, 0);
+  ClientAddr dst{0, kSlice0};
+  NetworkClient& dstClient = f.machine.client(dst);
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(2);
+  rc.maxResends = 3;
+  rc.resendBackoff = sim::us(1);
+  core::RecoverableCountedWrite rcw(dstClient, 0, rc);
+  rcw.expectFrom(srcNode, 3);
+  bool done = false;
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(3, [&](const core::WatchdogReport& r) {
+      return core::resendFromRegistry(f.machine, reg, r);
+    });
+    done = true;
+  };
+  f.sim.spawn(waiter());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    std::uint64_t value = 0xabc0 + i;
+    NetworkClient::SendArgs args;
+    args.dst = dst;
+    args.counterId = 0;
+    args.address = std::uint32_t(i) * 8;
+    args.inOrder = true;
+    args.payload = net::makePayload(&value, sizeof value);
+    f.machine.client({srcNode, kSlice0}).post(args);
+  }
+  f.sim.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dstClient.counterValue(0), 3u);
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u);
+  EXPECT_EQ(rcw.stats().timeouts, 1u);
+  EXPECT_EQ(rcw.stats().resends, 1u);
+  EXPECT_EQ(rcw.stats().hardFailures, 0u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_EQ(dstClient.read<std::uint64_t>(std::uint32_t(i) * 8), 0xabc0 + i)
+        << "slot " << i;
+}
+
+TEST(Recovery, MulticastResendTargetsOnlyDeniedReceivers) {
+  // A multicast replica dropped mid-tree: the subtree beyond the failed
+  // link is denied, everyone before it got their copy. Recovery must
+  // re-send to exactly the denied receiver — re-bumping the others would
+  // corrupt their counter arithmetic.
+  Fixture f;
+  core::DropRegistry reg(f.machine);
+  const int n0 = f.nodeAt(0, 0, 0), n1 = f.nodeAt(1, 0, 0),
+            n2 = f.nodeAt(2, 0, 0);
+  // Hand-built chain pattern 0 -> 1 -> 2 along X+ delivering to slice0.
+  const int pat = 7;
+  f.machine.setMulticastPattern(n0, pat, {.clientMask = 0, .linkMask = 1u << 0});
+  f.machine.setMulticastPattern(
+      n1, pat, {.clientMask = 1u << kSlice0, .linkMask = 1u << 0});
+  f.machine.setMulticastPattern(n2, pat,
+                                {.clientMask = 1u << kSlice0, .linkMask = 0});
+  // Traversal 0 is the 0->1 hop, traversal 1 the 1->2 hop: drop the latter.
+  DropTraversals fm({1});
+  f.machine.setFaultModel(&fm);
+
+  NetworkClient& r1 = f.machine.client({n1, kSlice0});
+  NetworkClient& r2 = f.machine.client({n2, kSlice0});
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(2);
+  rc.maxResends = 2;
+  rc.resendBackoff = sim::us(1);
+  core::RecoverableCountedWrite rcw(r2, 0, rc);
+  rcw.expectFrom(n0, 1);
+  bool done = false;
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(1, [&](const core::WatchdogReport& r) {
+      return core::resendFromRegistry(f.machine, reg, r);
+    });
+    done = true;
+  };
+  f.sim.spawn(waiter());
+  std::uint64_t value = 0xfeed;
+  NetworkClient::SendArgs args;
+  args.multicastPattern = pat;
+  args.counterId = 0;
+  args.inOrder = true;
+  args.payload = net::makePayload(&value, sizeof value);
+  f.machine.client({n0, kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(r1.counterValue(0), 1u) << "already-served receiver re-bumped";
+  EXPECT_EQ(r2.counterValue(0), 1u);
+  EXPECT_EQ(r2.read<std::uint64_t>(0), 0xfeedu);
+  EXPECT_EQ(rcw.stats().resends, 1u);
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u);
+}
+
+TEST(Recovery, ExhaustedResendBudgetHardFailsWithReport) {
+  // When every copy (original and all replays) is lost, the wait must not
+  // retry forever: after maxResends rounds it throws a RecoveryFailure
+  // carrying the final diagnosis, which the simulator surfaces from run().
+  Fixture f;
+  core::DropRegistry reg(f.machine);
+  DropEverything fm;
+  f.machine.setFaultModel(&fm);
+
+  const int srcNode = f.nodeAt(1, 0, 0);
+  NetworkClient& dst = f.machine.client({0, kSlice0});
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(1);
+  rc.maxResends = 2;
+  rc.resendBackoff = sim::us(1);
+  core::RecoverableCountedWrite rcw(dst, 0, rc);
+  rcw.expectFrom(srcNode, 1);
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(1, [&](const core::WatchdogReport& r) {
+      return core::resendFromRegistry(f.machine, reg, r);
+    });
+  };
+  f.sim.spawn(waiter());
+  NetworkClient::SendArgs args;
+  args.dst = dst.addr();
+  args.counterId = 0;
+  args.inOrder = true;
+  f.machine.client({srcNode, kSlice0}).post(args);
+
+  try {
+    f.sim.run();
+    FAIL() << "expected RecoveryFailure";
+  } catch (const core::RecoveryFailure& e) {
+    EXPECT_TRUE(e.report.timedOut);
+    EXPECT_EQ(e.report.expected, 1u);
+    EXPECT_EQ(e.report.arrived, 0u);
+    ASSERT_EQ(e.report.missing.size(), 1u);
+    EXPECT_EQ(e.report.missing[0].node, srcNode);
+    EXPECT_NE(std::string(e.what()).find("TIMED OUT"), std::string::npos);
+  }
+  EXPECT_EQ(rcw.stats().hardFailures, 1u);
+  EXPECT_EQ(rcw.stats().timeouts, 3u);  // initial attempt + 2 resend rounds
+  EXPECT_GE(f.machine.stats().linkFailures, 3u);  // original + both resends
+}
+
+}  // namespace
+}  // namespace anton
