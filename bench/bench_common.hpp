@@ -33,6 +33,23 @@ class JsonReporter {
                                ".json for writing");
   }
 
+  /// Write to an explicit path instead of BENCH_<name>.json. Used by tools
+  /// (e.g. verify_plans) whose reports are not paper-vs-measured benches and
+  /// must not be picked up by the perf-trajectory tooling.
+  JsonReporter(const std::string& name, const std::string& path)
+      : bench_(name), out_(path) {
+    if (!out_)
+      throw std::runtime_error("JsonReporter: cannot open " + path +
+                               " for writing");
+  }
+
+  /// Emit one preformatted line (the caller guarantees it is valid JSON).
+  void raw(const std::string& line) {
+    out_ << line << '\n';
+    if (!out_)
+      throw std::runtime_error("JsonReporter: write for " + bench_ + " failed");
+  }
+
   /// deviation = (measured - paper) / paper (0 when paper is 0).
   void record(const std::string& metric, double paper, double measured,
               const std::string& unit) {

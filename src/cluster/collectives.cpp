@@ -31,6 +31,40 @@ sim::Task allReduce(ClusterMachine& m, int node, std::vector<double> in,
   if (out != nullptr) *out = std::move(cur);
 }
 
+std::string appendAllReducePlan(verify::CommPlan& plan, int numNodes,
+                                const std::string& afterPhase, int tagBase) {
+  if (!std::has_single_bit(unsigned(numNodes)))
+    throw std::invalid_argument("recursive doubling needs power-of-two nodes");
+  plan.shape = {numNodes, 1, 1};
+  const int rounds = std::bit_width(unsigned(numNodes)) - 1;
+  std::string prev = afterPhase;
+  for (int r = 0; r < rounds; ++r) {
+    std::string phase = "cluster.allreduce.round" + std::to_string(r);
+    plan.addPhaseEdge(prev, phase);
+    prev = phase;
+    for (int node = 0; node < numNodes; ++node) {
+      int partner = node ^ (1 << r);
+      verify::PlannedWrite w;
+      w.phase = phase;
+      w.srcNode = node;
+      w.dst = {partner, 0};
+      w.counterId = tagBase + r;
+      plan.writes.push_back(w);
+
+      verify::CounterExpectation e;
+      e.site = phase;
+      e.phase = phase;  // recv follows the same-round send on each node
+      e.client = {node, 0};
+      e.counterId = tagBase + r;
+      e.perRound = 1;
+      e.bySource[partner] = 1;
+      e.recoveryArmed = true;  // reliable transport, not a raw counted write
+      plan.expectations.push_back(std::move(e));
+    }
+  }
+  return prev;
+}
+
 sim::Task stagedNeighborExchange(ClusterMachine& m, util::TorusShape shape,
                                  int node, std::size_t bytesOwn,
                                  std::size_t* outBytes, int tagBase) {

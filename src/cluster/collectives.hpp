@@ -13,6 +13,7 @@
 #include "cluster/network.hpp"
 #include "sim/task.hpp"
 #include "util/torus_coord.hpp"
+#include "verify/plan.hpp"
 
 namespace anton::cluster {
 
@@ -29,6 +30,16 @@ struct CollectiveConfig {
 sim::Task allReduce(ClusterMachine& m, int node, std::vector<double> in,
                     std::vector<double>* out, CollectiveConfig cfg = {},
                     int tagBase = 1000);
+
+/// Static message plan of the recursive-doubling all-reduce in the
+/// verifier's counted-write vocabulary: the cluster is modeled as an
+/// {n, 1, 1} torus, one tag acts as one sync counter, one message as one
+/// packet. Waits are marked recovery-armed because the cluster transport is
+/// reliable (MPI semantics), unlike raw counted writes. Returns the final
+/// phase appended.
+std::string appendAllReducePlan(verify::CommPlan& plan, int numNodes,
+                                const std::string& afterPhase,
+                                int tagBase = 1000);
 
 /// Staged nearest-neighbor exchange on a logical 3D torus of cluster nodes:
 /// stage d sends the accumulated slab (own data plus everything received in

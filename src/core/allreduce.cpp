@@ -76,6 +76,104 @@ void DimOrderedAllReduce::installPatterns() {
   }
 }
 
+std::string DimOrderedAllReduce::appendPlan(verify::CommPlan& plan,
+                                            const std::string& afterPhase) const {
+  const util::TorusShape& shape = machine_.shape();
+  static constexpr const char* kDimName[3] = {"x", "y", "z"};
+  std::string prev = afterPhase;
+  for (int dim = 0; dim < 3; ++dim) {
+    int n = shape.extent(dim);
+    if (n < 2) continue;
+    std::string phase = std::string("allreduce.") + kDimName[dim];
+    plan.addPhaseEdge(prev, phase);
+    prev = phase;
+    int fwd = n / 2;
+    int bwd = n - 1 - fwd;
+    for (int s = 0; s < machine_.numNodes(); ++s) {
+      util::TorusCoord c = util::torusCoordOf(s, shape);
+      int pos = c[dim];
+
+      verify::PlannedWrite w;
+      w.phase = phase;
+      w.srcNode = s;
+      w.pattern = patternId(dim, pos);
+      w.counterId = cfg_.counterId;
+      plan.writes.push_back(w);
+
+      verify::CounterExpectation e;
+      e.site = phase;
+      e.phase = phase;
+      e.client = {s, dim};
+      e.counterId = cfg_.counterId;
+      e.perRound = std::uint64_t(n - 1);
+
+      verify::BufferPlan b;
+      b.name = phase + ".slots";
+      b.client = e.client;
+      b.base = slotAddr(0, 0);
+      b.bytes = std::uint32_t(n) * 2u * std::uint32_t(cfg_.maxBytes);
+      b.copies = 2;  // parity double buffering across reductions
+      b.freePhase = phase;
+
+      // The machine-wide pattern (dim, pos) restricted to this source's
+      // line: only those table rows can be reached from `s`.
+      verify::MulticastPlanEntry mp;
+      mp.patternId = w.pattern;
+      mp.srcNode = s;
+      for (int k = 0; k < n; ++k) {
+        util::TorusCoord jc = c;
+        jc[dim] = k;
+        int j = util::torusIndex(jc, shape);
+        int kf = util::wrap(k - pos, n);
+        int kb = util::wrap(pos - k, n);
+        MulticastEntry entry;
+        if (kf == 0) {
+          if (fwd >= 1)
+            entry.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, +1));
+          if (bwd >= 1)
+            entry.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, -1));
+        } else if (kf <= fwd) {
+          entry.clientMask = std::uint8_t(1u << dim);
+          if (kf < fwd)
+            entry.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, +1));
+        } else {
+          entry.clientMask = std::uint8_t(1u << dim);
+          if (kb < bwd)
+            entry.linkMask |= std::uint8_t(1u << RingLayout::adapterIndex(dim, -1));
+        }
+        mp.entries[j] = entry;
+        if (k != pos) {
+          mp.declaredDests.push_back({j, dim});
+          e.bySource[j] = 1;
+          b.writers.push_back({j, phase});
+        }
+      }
+      plan.expectations.push_back(std::move(e));
+      plan.multicasts.push_back(std::move(mp));
+      plan.buffers.push_back(std::move(b));
+    }
+  }
+  if (cfg_.shareLocally) {
+    int lastDim = shape.nz > 1 ? 2 : shape.ny > 1 ? 1 : shape.nx > 1 ? 0 : -1;
+    if (lastDim >= 0) {
+      std::string phase = "allreduce.share";
+      plan.addPhaseEdge(prev, phase);
+      prev = phase;
+      for (int s = 0; s < machine_.numNodes(); ++s) {
+        for (int sl = 0; sl < net::kNumSlices; ++sl) {
+          if (sl == lastDim) continue;
+          verify::PlannedWrite w;
+          w.phase = phase;
+          w.srcNode = s;
+          w.dst = {s, sl};  // node-local share, no counter
+          plan.writes.push_back(w);
+        }
+      }
+    }
+  }
+  return prev;
+}
+
 sim::Task DimOrderedAllReduce::run(int nodeIdx, std::vector<double> in,
                                    std::vector<double>* out) {
   const util::TorusShape& shape = machine_.shape();

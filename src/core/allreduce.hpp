@@ -17,6 +17,7 @@
 
 #include "net/machine.hpp"
 #include "sim/task.hpp"
+#include "verify/plan.hpp"
 
 namespace anton::core {
 
@@ -46,6 +47,14 @@ class DimOrderedAllReduce {
   sim::Task barrier(int nodeIdx) { return run(nodeIdx, {}, nullptr); }
 
   const AllReduceConfig& config() const { return cfg_; }
+
+  /// Append this all-reduce's static communication plan (one phase per
+  /// participating dimension, chained after `afterPhase`) to `plan`:
+  /// per-line broadcast writes, counter expectations, the line multicast
+  /// trees, and the parity-double-buffered slot regions. Returns the name
+  /// of the final phase appended.
+  std::string appendPlan(verify::CommPlan& plan,
+                         const std::string& afterPhase) const;
 
  private:
   int patternId(int dim, int pos) const;

@@ -65,8 +65,10 @@ int PatternAllocator::install(int srcNode,
   // broadcasts from neighboring sources spread their legs over all links.
   static constexpr std::array<std::array<int, 3>, 6> kPerms = {{
       {0, 1, 2}, {1, 2, 0}, {2, 0, 1}, {0, 2, 1}, {2, 1, 0}, {1, 0, 2}}};
-  return install(
+  int id = install(
       buildMulticastTree(machine_, srcNode, dests, kPerms[std::size_t(srcNode) % 6]));
+  installed_.back().dests = dests;  // declared intent, not derived from tree
+  return id;
 }
 
 int PatternAllocator::install(const MulticastTree& tree) {
@@ -87,10 +89,16 @@ int PatternAllocator::install(const MulticastTree& tree) {
 }
 
 void PatternAllocator::installAt(const MulticastTree& tree, int id) {
+  InstalledPattern rec;
+  rec.id = id;
+  rec.tree = tree;
   for (const auto& [node, entry] : tree.entries) {
     machine_.setMulticastPattern(node, id, entry);
     usedIdsPerNode_[std::size_t(node)].insert(id);
+    for (int c = 0; c < net::kClientsPerNode; ++c)
+      if (entry.clientMask & (1u << c)) rec.dests.push_back({node, c});
   }
+  installed_.push_back(std::move(rec));
 }
 
 }  // namespace anton::core

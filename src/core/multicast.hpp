@@ -37,6 +37,16 @@ MulticastTree buildMulticastTree(const net::Machine& m, int srcNode,
                                  const std::vector<net::ClientAddr>& dests,
                                  std::array<int, 3> dimOrder = {0, 1, 2});
 
+/// One pattern as installed: its id, the tree written into the node tables,
+/// and the destination set the caller declared. For trees installed without
+/// an explicit destination list the dests are derived from the tree's
+/// clientMask bits. Consumed by the static plan verifier (src/verify/).
+struct InstalledPattern {
+  int id = -1;
+  MulticastTree tree;
+  std::vector<net::ClientAddr> dests;
+};
+
 /// Allocates pattern ids and installs trees into a machine's node tables.
 /// Ids are assigned greedily: the smallest id unused on every footprint node
 /// of the new tree. Throws when the 256-entry tables are exhausted.
@@ -57,11 +67,15 @@ class PatternAllocator {
   /// with their own id scheme (e.g. the all-reduce line broadcasts).
   void installAt(const MulticastTree& tree, int id);
 
+  /// Every pattern installed through this allocator, in install order.
+  const std::vector<InstalledPattern>& installed() const { return installed_; }
+
  private:
   net::Machine& machine_;
   int firstId_;
   int lastId_;
   std::vector<std::set<int>> usedIdsPerNode_;  ///< node -> ids taken
+  std::vector<InstalledPattern> installed_;
 };
 
 }  // namespace anton::core

@@ -42,6 +42,13 @@ class NeighborhoodSync {
   /// Coroutine form charging the assembly time to the caller.
   sim::Task signalAndCharge(int nodeIdx);
 
+  /// The multicast pattern id `nodeIdx`'s flush broadcast uses (installed
+  /// through the shared allocator). Exposed for static plan extraction.
+  int patternId(int nodeIdx) const { return patternIds_[std::size_t(nodeIdx)]; }
+
+  int counterId() const { return counterId_; }
+  int targetClient() const { return targetClient_; }
+
   /// Awaitable: all neighbors' flushes for round `round` (1-based) arrived.
   net::NetworkClient::CounterWait wait(int nodeIdx, std::uint64_t round) {
     return machine_.client({nodeIdx, targetClient_})

@@ -132,6 +132,107 @@ std::uint64_t DistributedFft3D::packetsPerNodePerTransform(int nodeIdx) const {
   return total;
 }
 
+std::string DistributedFft3D::appendPlan(verify::CommPlan& plan,
+                                         const std::string& afterPhase,
+                                         bool inverse, int parity) const {
+  static constexpr const char* kDimName[3] = {"x", "y", "z"};
+  const util::TorusShape& shape = machine_.shape();
+  const std::string label = inverse ? "inv" : "fwd";
+  std::string prev = afterPhase;
+  for (int step = 0; step < 3; ++step) {
+    const int d = inverse ? 2 - step : step;
+    const DimPlan& p = plan_[std::size_t(d)];
+    const int gatherCtr = cfg_.counterBase + 2 * d;
+    const int scatterCtr = cfg_.counterBase + 2 * d + 1;
+    const std::uint64_t pps = std::uint64_t(p.packetsPerSegment);
+    // Lines of a block owned by ring position `pos` (round-robin by lid).
+    auto linesAtPos = [&p](int pos) {
+      return std::uint64_t(p.linesPerBlock / p.ringSize +
+                           (pos < p.linesPerBlock % p.ringSize ? 1 : 0));
+    };
+    const std::string pfx = "fft." + label + "." + kDimName[d];
+    const std::string pGather = pfx + ".gather";  // push segments to owners
+    const std::string pXform = pfx + ".xform";    // wait, read, FFT, scatter
+    const std::string pUnpack = pfx + ".unpack";  // wait, read home segments
+    plan.addPhaseEdge(prev, pGather);
+    plan.addPhaseEdge(pGather, pXform);
+    plan.addPhaseEdge(pXform, pUnpack);
+    prev = pUnpack;
+
+    for (int n = 0; n < machine_.numNodes(); ++n) {
+      util::TorusCoord coord = util::torusCoordOf(n, shape);
+      const std::uint64_t myOwned = linesAtPos(coord[d]);
+
+      verify::CounterExpectation ge;
+      ge.site = pGather;
+      ge.phase = pXform;
+      ge.client = {n, cfg_.fftSlice};
+      ge.counterId = gatherCtr;
+      ge.perRound = myOwned * std::uint64_t(p.ringSize) * pps;
+
+      verify::CounterExpectation se;
+      se.site = pXform;  // the scatter writes are issued from xform
+      se.phase = pUnpack;
+      se.client = {n, cfg_.fftSlice};
+      se.counterId = scatterCtr;
+      se.perRound = std::uint64_t(p.linesPerBlock) * pps;
+
+      verify::BufferPlan gb;
+      gb.name = pGather;
+      gb.client = ge.client;
+      gb.base = p.gatherBase + std::uint32_t(parity) * p.gatherRegion;
+      gb.bytes = p.gatherRegion;
+      gb.copies = 1;  // this parity copy is reused every template round
+      gb.freePhase = pXform;
+
+      verify::BufferPlan sb;
+      sb.name = pXform + ".scatter";
+      sb.client = ge.client;
+      sb.base = p.scatterBase + std::uint32_t(parity) * p.scatterRegion;
+      sb.bytes = p.scatterRegion;
+      sb.copies = 1;
+      sb.freePhase = pUnpack;
+
+      for (int o = 0; o < p.ringSize; ++o) {
+        util::TorusCoord oc = coord;
+        oc[d] = o;
+        int peer = util::torusIndex(oc, shape);
+        std::uint64_t peerOwned = linesAtPos(o);
+        // Gather: my segments of every line owned by `peer`.
+        if (peerOwned != 0) {
+          verify::PlannedWrite w;
+          w.phase = pGather;
+          w.srcNode = n;
+          w.dst = {peer, cfg_.fftSlice};
+          w.counterId = gatherCtr;
+          w.packets = peerOwned * pps;
+          plan.writes.push_back(w);
+          se.bySource[peer] = peerOwned * pps;
+          sb.writers.push_back({peer, pXform});
+        }
+        ge.bySource[peer] = myOwned * pps;
+        if (myOwned != 0) gb.writers.push_back({peer, pGather});
+        // Scatter: my owned lines' segments back to every ring node.
+        if (myOwned != 0) {
+          verify::PlannedWrite w;
+          w.phase = pXform;
+          w.srcNode = n;
+          w.dst = {peer, cfg_.fftSlice};
+          w.counterId = scatterCtr;
+          w.packets = myOwned * pps;
+          plan.writes.push_back(w);
+        }
+      }
+      if (myOwned == 0) ge.bySource.clear();
+      plan.expectations.push_back(std::move(ge));
+      plan.expectations.push_back(std::move(se));
+      plan.buffers.push_back(std::move(gb));
+      plan.buffers.push_back(std::move(sb));
+    }
+  }
+  return prev;
+}
+
 sim::Task DistributedFft3D::run(int nodeIdx, bool inverse) {
   const util::TorusShape& shape = machine_.shape();
   const util::TorusCoord coord = util::torusCoordOf(nodeIdx, shape);

@@ -21,6 +21,7 @@
 #include "fft/fft1d.hpp"
 #include "net/machine.hpp"
 #include "sim/task.hpp"
+#include "verify/plan.hpp"
 
 namespace anton::fft {
 
@@ -72,6 +73,16 @@ class DistributedFft3D {
 
   /// Messages a node sends per full transform (for bench reporting).
   std::uint64_t packetsPerNodePerTransform(int nodeIdx) const;
+
+  /// Append the static communication plan of one transform (forward or
+  /// inverse) to `plan`, chained after `afterPhase`: per-dimension gather /
+  /// transform / unpack phases, the ring-unicast write groups, counter
+  /// expectations, and the parity-selected receive regions. `parity` picks
+  /// which copy of the double-buffered regions this transform writes (the MD
+  /// step always runs forward on parity 0 and inverse on parity 1). Returns
+  /// the name of the final phase appended.
+  std::string appendPlan(verify::CommPlan& plan, const std::string& afterPhase,
+                         bool inverse, int parity) const;
 
  private:
   struct DimPlan {

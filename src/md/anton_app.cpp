@@ -1114,4 +1114,274 @@ void AntonMdApp::runSteps(int k) {
   }
 }
 
+verify::CommPlan AntonMdApp::extractCommPlan() const {
+  verify::CommPlan plan;
+  plan.name = "md.step";
+  plan.shape = shape_;
+  const int numNodes = machine_.numNodes();
+  const bool armed = dropRegistry_ != nullptr;
+
+  // Phase skeleton of the template superstep. Concurrent hardware phases
+  // (HTIS / bonded / long-range) branch from the send phase and rejoin at
+  // the force wait; the round wraps from migration back to the next send.
+  plan.addPhaseEdge("md.send", "md.htis");
+  plan.addPhaseEdge("md.send", "md.bonded");
+  plan.addPhaseEdge("md.send", "md.spread");
+  plan.addPhaseEdge("md.spread", "md.grid");
+  std::string tail = fft_->appendPlan(plan, "md.grid", false, 0);
+  tail = fft_->appendPlan(plan, tail, true, 1);
+  plan.addPhaseEdge(tail, "md.pot");
+  plan.addPhaseEdge("md.pot", "md.interp");
+  plan.addPhaseEdge("md.htis", "md.forcewait");
+  plan.addPhaseEdge("md.bonded", "md.forcewait");
+  plan.addPhaseEdge("md.interp", "md.forcewait");
+  tail = allReduce_->appendPlan(plan, "md.forcewait");
+  plan.addPhaseEdge(tail, "md.migrate");
+
+  // Current home node per gid (bonded by-source expectations).
+  std::vector<int> home(charges_.size(), -1);
+  for (int n = 0; n < numNodes; ++n)
+    for (const AtomRecord& a : nodes_[std::size_t(n)].atoms)
+      home[std::size_t(a.gid)] = n;
+
+  const std::size_t blockPts = fft_->blockSize();
+  const std::size_t chunk = net::kMaxPayloadBytes;
+  const std::uint64_t gridPackets = (blockPts * 4 + chunk - 1) / chunk;
+  const std::size_t potBlockBytes = blockPts * 8;
+  const std::uint64_t potPackets = (potBlockBytes + chunk - 1) / chunk;
+  const std::uint32_t potRegion =
+      std::uint32_t(posRegionMod_) * std::uint32_t(potBlockBytes);
+
+  for (int n = 0; n < numNodes; ++n) {
+    const std::size_t un = std::size_t(n);
+    const std::uint64_t posN = std::uint64_t(posFixed_[un]);
+
+    // --- md.send: position multicast + bond-program unicasts --------------
+    {
+      verify::PlannedWrite w;
+      w.phase = "md.send";
+      w.srcNode = n;
+      w.pattern = posPattern_[un];
+      w.counterId = cfg_.ctrPos;
+      w.packets = posN;
+      plan.writes.push_back(std::move(w));
+    }
+    std::map<int, std::uint64_t> bondPerTarget;
+    for (const AtomRecord& a : nodes_[un].atoms)
+      for (int t : atomTermNodes_[std::size_t(a.gid)]) ++bondPerTarget[t];
+    for (const auto& [t, packets] : bondPerTarget) {
+      verify::PlannedWrite w;
+      w.phase = "md.send";
+      w.srcNode = n;
+      w.dst = {t, net::kSlice0};
+      w.counterId = cfg_.ctrBondPos;
+      w.packets = packets;
+      plan.writes.push_back(std::move(w));
+    }
+
+    // --- md.htis: position wait, then fixed-count force returns -----------
+    {
+      verify::CounterExpectation e;
+      e.site = "md.htis.pos";
+      e.phase = "md.htis";
+      e.client = {n, net::kHtis};
+      e.counterId = cfg_.ctrPos;
+      e.bySource[n] = posN;
+      for (int s : lowerShell_[un])
+        e.bySource[s] = std::uint64_t(posFixed_[std::size_t(s)]);
+      for (const auto& [s, c] : e.bySource) e.perRound += c;
+      e.recoveryArmed = armed;
+      plan.expectations.push_back(std::move(e));
+    }
+    {
+      verify::PlannedWrite w;  // self force return
+      w.phase = "md.htis";
+      w.srcNode = n;
+      w.dst = {n, net::kAccum0};
+      w.counterId = cfg_.ctrForce;
+      w.packets = posN;
+      plan.writes.push_back(w);
+      for (int s : lowerShell_[un]) {
+        w.dst = {s, net::kAccum0};
+        w.packets = std::uint64_t(posFixed_[std::size_t(s)]);
+        plan.writes.push_back(w);
+      }
+    }
+    {
+      verify::BufferPlan b;  // import-region position slots on the HTIS
+      b.name = "md.pos";
+      b.client = {n, net::kHtis};
+      b.base = 0;
+      b.bytes = std::uint32_t(posRegionMod_) * std::uint32_t(fixedPosPackets_) * 32u;
+      b.copies = 1;
+      b.freePhase = "md.htis";
+      b.writers.push_back({n, "md.send"});
+      for (int s : lowerShell_[un]) b.writers.push_back({s, "md.send"});
+      plan.buffers.push_back(std::move(b));
+    }
+
+    // --- md.bonded: gathered-position wait, force returns to home nodes ---
+    const auto& slots = bondAtomSlot_[un];
+    if (!slots.empty()) {
+      verify::CounterExpectation e;
+      e.site = "md.bonded.pos";
+      e.phase = "md.bonded";
+      e.client = {n, net::kSlice0};
+      e.counterId = cfg_.ctrBondPos;
+      e.perRound = slots.size();
+      for (const auto& [gid, slot] : slots) ++e.bySource[home[std::size_t(gid)]];
+      e.recoveryArmed = armed;
+      plan.expectations.push_back(std::move(e));
+
+      std::map<int, std::uint64_t> returnsPerHome;
+      for (const auto& [gid, slot] : slots) ++returnsPerHome[home[std::size_t(gid)]];
+      for (const auto& [h, packets] : returnsPerHome) {
+        verify::PlannedWrite w;
+        w.phase = "md.bonded";
+        w.srcNode = n;
+        w.dst = {h, net::kAccum0};
+        w.counterId = cfg_.ctrForce;
+        w.packets = packets;
+        plan.writes.push_back(std::move(w));
+      }
+
+      verify::BufferPlan b;  // gathered bond positions in slice0 memory
+      b.name = "md.bondpos";
+      b.client = {n, net::kSlice0};
+      b.base = 0x8000u;
+      b.bytes = std::uint32_t(slots.size()) * 32u;
+      b.copies = 1;
+      b.freePhase = "md.bonded";
+      std::set<int> senders;
+      for (const auto& [gid, slot] : slots) senders.insert(home[std::size_t(gid)]);
+      for (int s : senders) b.writers.push_back({s, "md.send"});
+      plan.buffers.push_back(std::move(b));
+    }
+
+    // --- long range: spread -> grid wait -> (FFT) -> pot halo -> interp ---
+    std::vector<int> targets;
+    targets.push_back(n);
+    for (int nb : core::torusNeighborhood26(shape_, n)) targets.push_back(nb);
+    for (int t : targets) {
+      verify::PlannedWrite w;
+      w.phase = "md.spread";
+      w.srcNode = n;
+      w.dst = {t, net::kAccum1};
+      w.counterId = cfg_.ctrGrid;
+      w.packets = gridPackets;
+      plan.writes.push_back(std::move(w));
+    }
+    {
+      verify::CounterExpectation e;
+      e.site = "md.grid";
+      e.phase = "md.grid";
+      e.client = {n, net::kAccum1};
+      e.counterId = cfg_.ctrGrid;
+      e.perRound = std::uint64_t(targets.size()) * gridPackets;
+      for (int t : targets) e.bySource[t] = gridPackets;
+      e.recoveryArmed = false;  // plain waitCounter in longRangePhase
+      plan.expectations.push_back(std::move(e));
+
+      verify::BufferPlan b;  // parity-double-buffered charge-grid block
+      b.name = "md.grid";
+      b.client = {n, net::kAccum1};
+      b.base = 0;
+      b.bytes = 2u * std::uint32_t(blockPts) * 4u;
+      b.copies = 2;
+      b.freePhase = "md.grid";
+      for (int t : targets) b.writers.push_back({t, "md.spread"});
+      plan.buffers.push_back(std::move(b));
+    }
+    {
+      verify::PlannedWrite w;  // potential-halo multicast
+      w.phase = "md.pot";
+      w.srcNode = n;
+      w.pattern = potPattern_[un];
+      w.counterId = cfg_.ctrPot;
+      w.packets = potPackets;
+      plan.writes.push_back(std::move(w));
+
+      verify::CounterExpectation e;
+      e.site = "md.potential";
+      e.phase = "md.interp";
+      e.client = {n, cfg_.fftConfig.fftSlice};
+      e.counterId = cfg_.ctrPot;
+      e.perRound = std::uint64_t(targets.size()) * potPackets;
+      for (int t : targets) e.bySource[t] = potPackets;
+      e.recoveryArmed = false;
+      plan.expectations.push_back(std::move(e));
+
+      verify::BufferPlan b;  // parity-double-buffered potential halo
+      b.name = "md.pot";
+      b.client = {n, cfg_.fftConfig.fftSlice};
+      b.base = 0;
+      b.bytes = 2u * potRegion;
+      b.copies = 2;
+      b.freePhase = "md.interp";
+      for (int t : targets) b.writers.push_back({t, "md.pot"});
+      plan.buffers.push_back(std::move(b));
+    }
+    {
+      verify::PlannedWrite w;  // interpolated long-range self accumulation
+      w.phase = "md.interp";
+      w.srcNode = n;
+      w.dst = {n, net::kAccum0};
+      w.counterId = cfg_.ctrForce;
+      w.packets = posN;
+      plan.writes.push_back(std::move(w));
+    }
+
+    // --- md.forcewait: the integration wait over all force returns --------
+    {
+      verify::CounterExpectation e;
+      e.site = "md.forces";
+      e.phase = "md.forcewait";
+      e.client = {n, net::kAccum0};
+      e.counterId = cfg_.ctrForce;
+      e.bySource[n] += posN;  // HTIS self return
+      for (int u : upperShell_[un]) e.bySource[u] += posN;
+      for (const AtomRecord& a : nodes_[un].atoms)
+        for (int t : atomTermNodes_[std::size_t(a.gid)]) e.bySource[t] += 1;
+      e.bySource[n] += posN;  // long-range self accumulation
+      for (const auto& [s, c] : e.bySource) e.perRound += c;
+      e.recoveryArmed = armed;
+      plan.expectations.push_back(std::move(e));
+    }
+
+    // --- md.migrate: in-order flush to the 26-neighborhood ----------------
+    {
+      verify::PlannedWrite w;
+      w.phase = "md.migrate";
+      w.srcNode = n;
+      w.pattern = migrationSync_->patternId(n);
+      w.counterId = migrationSync_->counterId();
+      w.packets = 1;
+      w.inOrder = true;
+      plan.writes.push_back(std::move(w));
+
+      verify::CounterExpectation e;
+      e.site = "md.migration.flush";
+      e.phase = "md.migrate";
+      e.client = {n, migrationSync_->targetClient()};
+      e.counterId = migrationSync_->counterId();
+      e.perRound = migrationSync_->expectedPerRound(n);
+      for (int nb : migrationSync_->neighbors(n)) e.bySource[nb] = 1;
+      e.recoveryArmed = false;  // FIFO flush: plain counter wait
+      plan.expectations.push_back(std::move(e));
+    }
+  }
+
+  // Every pattern installed through the shared allocator: position import
+  // multicasts, potential halos, and the migration-flush broadcasts.
+  for (const core::InstalledPattern& p : patterns_->installed()) {
+    verify::MulticastPlanEntry e;
+    e.patternId = p.id;
+    e.srcNode = p.tree.srcNode;
+    e.entries = p.tree.entries;
+    e.declaredDests = p.dests;
+    plan.multicasts.push_back(std::move(e));
+  }
+  return plan;
+}
+
 }  // namespace anton::md

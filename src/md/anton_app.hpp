@@ -36,6 +36,7 @@
 #include "md/engine.hpp"
 #include "net/machine.hpp"
 #include "trace/activity.hpp"
+#include "verify/plan.hpp"
 
 namespace anton::md {
 
@@ -156,6 +157,17 @@ class AntonMdApp {
     return dropRegistry_ ? dropRegistry_->dropsObserved() : 0;
   }
   bool recoveryEnabled() const { return dropRegistry_ != nullptr; }
+
+  /// Static communication plan of one template superstep (the worst-case
+  /// step: long-range + thermostat + migration all active), in the
+  /// verifier's vocabulary (src/verify/): position/bond multicast and
+  /// unicast counted writes, force returns, charge spreading, the chained
+  /// forward/inverse FFT plans, the potential halo, the thermostat
+  /// all-reduce, and the migration flush — with every counter expectation,
+  /// multicast table, and receive-buffer reuse schedule. Waits are marked
+  /// recovery-armed exactly where the live app arms a
+  /// RecoverableCountedWrite (position/bond/force when recovery is on).
+  verify::CommPlan extractCommPlan() const;
 
   /// Number of atoms migrated during the last migration phase.
   std::uint64_t lastMigrationCount() const { return lastMigrated_; }

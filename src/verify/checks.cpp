@@ -1,0 +1,512 @@
+#include "verify/checks.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace anton::verify {
+namespace {
+
+using util::TorusCoord;
+using util::TorusShape;
+
+std::string clientName(int c) {
+  switch (c) {
+    case net::kHtis:
+      return "htis";
+    case net::kAccum0:
+      return "accum0";
+    case net::kAccum1:
+      return "accum1";
+    default:
+      break;
+  }
+  if (c >= 0 && c < net::kNumSlices) return "slice" + std::to_string(c);
+  return "client" + std::to_string(c);
+}
+
+std::string addrName(const net::ClientAddr& a) {
+  return "node " + std::to_string(a.node) + "/" + clientName(a.client);
+}
+
+/// (node, client, counter): identity of one sync counter instance.
+using CounterKey = std::tuple<int, int, int>;
+
+struct ExpectedCount {
+  std::uint64_t total = 0;
+  std::map<int, std::uint64_t> bySource;
+  bool allBySource = true;  ///< every record declared a per-source breakdown
+  std::string site;         ///< first site naming this counter
+};
+
+struct ActualCount {
+  std::uint64_t total = 0;
+  std::map<int, std::uint64_t> bySource;
+};
+
+/// Coalesce findings that differ only in the node they occurred on, so a
+/// plan-wide bug yields one record (with a representative node and a tally)
+/// instead of one per node.
+std::vector<Violation> coalesce(const std::vector<Violation>& raw) {
+  std::vector<Violation> out;
+  std::map<std::tuple<std::string, std::string, int, int, int>, std::size_t>
+      index;
+  for (const Violation& v : raw) {
+    auto key = std::make_tuple(v.check, v.site, v.counterId, v.patternId,
+                               int(v.severity));
+    auto [it, fresh] = index.emplace(key, out.size());
+    if (fresh)
+      out.push_back(v);
+    else
+      out[it->second].count += v.count;
+  }
+  return out;
+}
+
+bool dimsAreOrdered(const std::vector<int>& dims) {
+  unsigned done = 0;
+  int cur = -1;
+  for (int d : dims) {
+    if (d == cur) continue;
+    if (done & (1u << d)) return false;
+    if (cur >= 0) done |= 1u << cur;
+    cur = d;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* severityName(Severity s) {
+  return s == Severity::kError ? "error" : "lint";
+}
+
+RouteTrace traceUnicastRoute(int srcNode, int dstNode, const TorusShape& shape,
+                             const std::vector<DownLink>& downLinks) {
+  RouteTrace tr;
+  tr.nodes.push_back(srcNode);
+  auto down = [&](int node, int dim, int sign) {
+    return std::find(downLinks.begin(), downLinks.end(),
+                     DownLink{node, dim, sign}) != downLinks.end();
+  };
+  TorusCoord dest = util::torusCoordOf(dstNode, shape);
+  int cur = srcNode;
+  // Mirrors Machine::routeFrom with the identity dimension order (the
+  // deterministic order used by in-order packets and recovery resends): the
+  // first healthy dimension with remaining distance wins; if every such link
+  // is down the packet takes the preferred one and stalls at its adapter.
+  int guard = 4 * shape.size() + 8;
+  while (cur != dstNode && guard-- > 0) {
+    TorusCoord here = util::torusCoordOf(cur, shape);
+    int prefDim = -1, prefSign = 0;
+    int useDim = -1, useSign = 0;
+    for (int dim = 0; dim < 3; ++dim) {
+      int delta = util::signedTorusDelta(here[dim], dest[dim],
+                                         shape.extent(dim));
+      if (delta == 0) continue;
+      int sign = delta > 0 ? +1 : -1;
+      if (prefDim < 0) {
+        prefDim = dim;
+        prefSign = sign;
+      }
+      if (down(cur, dim, sign)) continue;
+      useDim = dim;
+      useSign = sign;
+      break;
+    }
+    if (prefDim < 0) break;
+    if (useDim < 0) {
+      useDim = prefDim;
+      useSign = prefSign;
+      tr.stalled = true;
+    }
+    if (useDim != prefDim) tr.degraded = true;
+    tr.dims.push_back(useDim);
+    cur = util::torusIndex(util::torusNeighbor(here, useDim, useSign, shape),
+                           shape);
+    tr.nodes.push_back(cur);
+  }
+  tr.dimOrdered = dimsAreOrdered(tr.dims);
+  return tr;
+}
+
+VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
+  VerifyResult res;
+  std::vector<Violation> raw;
+  auto add = [&raw](std::string check, Severity sev, std::string site,
+                    std::string detail, int node = -1, int counterId = -1,
+                    int patternId = -1) {
+    raw.push_back({std::move(check), sev, std::move(site), std::move(detail),
+                   node, counterId, patternId, 1});
+  };
+  Severity routeSev =
+      opts.routeIssuesAreErrors ? Severity::kError : Severity::kLint;
+
+  // ---- check 2: multicast well-formedness -------------------------------
+  // A pattern id may back several trees with disjoint footprints (the
+  // allocator reuses ids exactly as the 256-entry tables allow), so the
+  // index maps an id to every tree declared under it.
+  std::map<int, std::vector<std::size_t>> patternIndex;
+  std::vector<TreeExpansion> expansions;
+  expansions.reserve(plan.multicasts.size());
+  std::map<std::pair<int, int>, int> nodePattern;  // (node, patternId) owner
+  std::map<int, std::set<int>> patternsPerNode;
+  for (std::size_t mi = 0; mi < plan.multicasts.size(); ++mi) {
+    const MulticastPlanEntry& m = plan.multicasts[mi];
+    std::string site = "pattern " + std::to_string(m.patternId);
+    if (m.patternId < 0 || m.patternId >= net::kMulticastPatterns)
+      add("multicast.pattern-limit", Severity::kError, site,
+          "pattern id " + std::to_string(m.patternId) +
+              " outside the " + std::to_string(net::kMulticastPatterns) +
+              "-entry per-node tables",
+          m.srcNode, -1, m.patternId);
+    patternIndex[m.patternId].push_back(mi);
+    for (const auto& [node, entry] : m.entries) {
+      (void)entry;
+      auto [it, fresh] = nodePattern.emplace(
+          std::make_pair(node, m.patternId), int(mi));
+      if (!fresh && it->second != int(mi))
+        add("multicast.conflict", Severity::kError, site,
+            "pattern id " + std::to_string(m.patternId) +
+                " installed twice at node " + std::to_string(node) +
+                " by different trees",
+            node, -1, m.patternId);
+      patternsPerNode[node].insert(m.patternId);
+    }
+
+    expansions.push_back(expandTree(m, plan.shape));
+    const TreeExpansion& x = expansions.back();
+    if (x.cycle)
+      add("multicast.cycle", Severity::kError, site,
+          "fan-out walk from node " + std::to_string(m.srcNode) +
+              " revisits a node (cyclic tree)",
+          m.srcNode, -1, m.patternId);
+    if (!x.emptyEntryNodes.empty())
+      add("multicast.empty-entry", Severity::kError, site,
+          "replica reaches node " + std::to_string(x.emptyEntryNodes.front()) +
+              " which has no table entry (" +
+              std::to_string(x.emptyEntryNodes.size()) +
+              " such node(s)); the hardware would drop it",
+          x.emptyEntryNodes.front(), -1, m.patternId);
+    if (!x.unreachedEntries.empty())
+      add("multicast.dead-entry", Severity::kLint, site,
+          std::to_string(x.unreachedEntries.size()) +
+              " table entr(ies) (first: node " +
+              std::to_string(x.unreachedEntries.front()) +
+              ") are never reached by the fan-out walk",
+          x.unreachedEntries.front(), -1, m.patternId);
+    if (!x.dimOrdered)
+      add("multicast.dim-order", routeSev, site,
+          "a root-to-leaf path is not dimension-ordered (deadlock risk on "
+          "the wormhole fabric)",
+          m.srcNode, -1, m.patternId);
+
+    std::set<std::pair<int, int>> reached;
+    for (const net::ClientAddr& a : x.reached)
+      reached.insert({a.node, a.client});
+    std::set<std::pair<int, int>> declared;
+    for (const net::ClientAddr& a : m.declaredDests)
+      declared.insert({a.node, a.client});
+    if (reached != declared) {
+      std::string detail;
+      for (const auto& d : declared)
+        if (!reached.count(d)) {
+          detail = "declared destination " +
+                   addrName({d.first, d.second}) + " is never reached";
+          break;
+        }
+      if (detail.empty())
+        for (const auto& r : reached)
+          if (!declared.count(r)) {
+            detail = "fan-out delivers to undeclared destination " +
+                     addrName({r.first, r.second});
+            break;
+          }
+      add("multicast.dests", Severity::kError, site, detail, m.srcNode, -1,
+          m.patternId);
+    }
+  }
+  for (const auto& [node, ids] : patternsPerNode)
+    if (int(ids.size()) > net::kMulticastPatterns)
+      add("multicast.pattern-limit", Severity::kError,
+          "node " + std::to_string(node),
+          std::to_string(ids.size()) + " patterns installed at node " +
+              std::to_string(node) + " (table holds " +
+              std::to_string(net::kMulticastPatterns) + ")",
+          node);
+
+  // ---- check 1: count consistency ---------------------------------------
+  std::map<CounterKey, ExpectedCount> expected;
+  for (const CounterExpectation& e : plan.expectations) {
+    ExpectedCount& x =
+        expected[{e.client.node, e.client.client, e.counterId}];
+    x.total += e.perRound;
+    if (x.site.empty()) x.site = e.site;
+    if (e.bySource.empty()) {
+      x.allBySource = false;
+    } else {
+      for (const auto& [src, n] : e.bySource) x.bySource[src] += n;
+    }
+  }
+
+  // Delivered clients per write (unicast target or expanded fan-out), kept
+  // for the buffer-reuse dependency edges below.
+  std::vector<std::vector<net::ClientAddr>> delivered(plan.writes.size());
+  std::map<CounterKey, ActualCount> actual;
+  for (std::size_t wi = 0; wi < plan.writes.size(); ++wi) {
+    const PlannedWrite& w = plan.writes[wi];
+    if (w.pattern == net::kNoMulticast) {
+      if (w.dst.node >= 0) delivered[wi].push_back(w.dst);
+    } else {
+      auto it = patternIndex.find(w.pattern);
+      std::size_t chosen = std::size_t(-1);
+      if (it != patternIndex.end()) {
+        for (std::size_t c : it->second)
+          if (plan.multicasts[c].srcNode == w.srcNode) {
+            chosen = c;
+            break;
+          }
+        if (chosen == std::size_t(-1) && it->second.size() == 1)
+          chosen = it->second.front();
+      }
+      if (chosen == std::size_t(-1)) {
+        add("count.unknown-pattern", Severity::kError, w.phase,
+            "write in phase '" + w.phase + "' from node " +
+                std::to_string(w.srcNode) + " references pattern " +
+                std::to_string(w.pattern) +
+                " but no declared tree has that id and source",
+            w.srcNode, w.counterId, w.pattern);
+        continue;
+      }
+      delivered[wi] = expansions[chosen].reached;
+    }
+    if (w.counterId == net::kNoCounter) continue;
+    for (const net::ClientAddr& d : delivered[wi]) {
+      ActualCount& a = actual[{d.node, d.client, w.counterId}];
+      a.total += w.packets;
+      a.bySource[w.srcNode] += w.packets;
+    }
+  }
+
+  for (const auto& [key, exp] : expected) {
+    auto [node, client, ctr] = key;
+    auto it = actual.find(key);
+    std::uint64_t got = it == actual.end() ? 0 : it->second.total;
+    if (got != exp.total) {
+      add("count", Severity::kError, exp.site,
+          "counter " + std::to_string(ctr) + " at " +
+              addrName({node, client}) + ": plan delivers " +
+              std::to_string(got) + " packets/round, wait expects " +
+              std::to_string(exp.total),
+          node, ctr);
+      continue;  // per-source detail would just repeat the mismatch
+    }
+    if (!exp.allBySource || it == actual.end()) continue;
+    const auto& gotBy = it->second.bySource;
+    if (gotBy == exp.bySource) continue;
+    std::string detail = "counter " + std::to_string(ctr) + " at " +
+                         addrName({node, client}) +
+                         ": per-source breakdown disagrees";
+    for (const auto& [src, n] : exp.bySource) {
+      auto g = gotBy.find(src);
+      std::uint64_t gn = g == gotBy.end() ? 0 : g->second;
+      if (gn != n) {
+        detail += " (source node " + std::to_string(src) + ": planned " +
+                  std::to_string(gn) + ", expected " + std::to_string(n) + ")";
+        break;
+      }
+    }
+    add("count.by-source", Severity::kError, exp.site, detail, node, ctr);
+  }
+  for (const auto& [key, act] : actual) {
+    if (expected.count(key)) continue;
+    auto [node, client, ctr] = key;
+    add("count.unwaited", Severity::kLint, "counter " + std::to_string(ctr),
+        "counter " + std::to_string(ctr) + " at " + addrName({node, client}) +
+            " receives " + std::to_string(act.total) +
+            " packets/round but no wait site targets it",
+        node, ctr);
+  }
+
+  // ---- check 5: recovery coverage ---------------------------------------
+  std::map<std::string, std::pair<int, int>> siteArm;  // site -> {armed, not}
+  std::map<std::string, int> siteCtr;
+  for (const CounterExpectation& e : plan.expectations) {
+    auto& [armed, unarmed] = siteArm[e.site];
+    (e.recoveryArmed ? armed : unarmed) += 1;
+    siteCtr.emplace(e.site, e.counterId);
+  }
+  for (const auto& [site, counts] : siteArm)
+    if (counts.second > 0)
+      add("recovery-coverage", Severity::kLint, site,
+          std::to_string(counts.second) + " counted-wait record(s) at site '" +
+              site + "' have no RecoverableCountedWrite armed; a dropped "
+              "packet hangs the step",
+          -1, siteCtr[site]);
+
+  // ---- check 4: deadlock freedom of unicast routes ----------------------
+  std::set<std::pair<int, int>> traced;
+  for (const PlannedWrite& w : plan.writes) {
+    if (w.pattern != net::kNoMulticast) continue;
+    if (w.dst.node < 0 || w.dst.node == w.srcNode) continue;
+    if (!traced.insert({w.srcNode, w.dst.node}).second) continue;
+    RouteTrace tr =
+        traceUnicastRoute(w.srcNode, w.dst.node, plan.shape, opts.downLinks);
+    ++res.routesTraced;
+    std::string site =
+        "route " + std::to_string(w.srcNode) + "->" +
+        std::to_string(w.dst.node);
+    if (!tr.dimOrdered)
+      add("route.dim-order", routeSev, w.phase,
+          site + " (phase '" + w.phase + "') is not dimension-ordered after "
+          "rerouting around down links (deadlock risk)",
+          w.srcNode, w.counterId);
+    if (tr.stalled)
+      add("route.stalled", routeSev, w.phase,
+          site + " (phase '" + w.phase + "') has a hop where every usable "
+          "link is down; the packet stalls for the outage",
+          w.srcNode, w.counterId);
+    if (tr.degraded && tr.dimOrdered && !tr.stalled)
+      add("route.degraded", Severity::kLint, w.phase,
+          site + " (phase '" + w.phase + "') deviates from its preferred "
+          "dimension to avoid a down link (still dimension-ordered)",
+          w.srcNode, w.counterId);
+  }
+
+  // ---- check 3: buffer-reuse safety -------------------------------------
+  // Concrete reachability over vertices (node, phase, round): program-order
+  // edges within a node and round, round-wrap edges from each node's sink
+  // phases to its source phases, and write->wait edges from a write's
+  // issuing phase to every wait site its counter satisfies. A buffer with
+  // `copies` copies is reused safely iff the counter fire that frees a copy
+  // (freePhase, round r) happens-before every write into it in round
+  // r + copies — the §4 no-barrier argument, checked as path existence.
+  res.buffersTotal = int(plan.buffers.size());
+  if (!plan.buffers.empty() && !plan.phases.empty()) {
+    const int P = int(plan.phases.size());
+    const int N = plan.shape.size();
+    int maxCopies = 1;
+    for (const BufferPlan& b : plan.buffers)
+      maxCopies = std::max(maxCopies, b.copies);
+    const int L = maxCopies + 1;
+    auto vtx = [&](int n, int p, int r) { return (n * P + p) * L + r; };
+    std::vector<std::vector<int>> adj(std::size_t(N) * std::size_t(P) *
+                                      std::size_t(L));
+
+    std::vector<char> hasIn(std::size_t(P), 0), hasOut(std::size_t(P), 0);
+    for (const auto& [f, t] : plan.phaseEdges) {
+      if (f < 0 || f >= P || t < 0 || t >= P) continue;
+      hasOut[std::size_t(f)] = 1;
+      hasIn[std::size_t(t)] = 1;
+      for (int n = 0; n < N; ++n)
+        for (int r = 0; r < L; ++r)
+          adj[std::size_t(vtx(n, f, r))].push_back(vtx(n, t, r));
+    }
+    for (int p = 0; p < P; ++p) {
+      if (hasOut[std::size_t(p)]) continue;
+      for (int q = 0; q < P; ++q) {
+        if (hasIn[std::size_t(q)]) continue;
+        for (int n = 0; n < N; ++n)
+          for (int r = 0; r + 1 < L; ++r)
+            adj[std::size_t(vtx(n, p, r))].push_back(vtx(n, q, r + 1));
+      }
+    }
+    std::map<CounterKey, std::vector<int>> waitPhases;
+    for (const CounterExpectation& e : plan.expectations) {
+      int p = plan.phaseIndex(e.phase);
+      if (p >= 0)
+        waitPhases[{e.client.node, e.client.client, e.counterId}].push_back(p);
+    }
+    for (std::size_t wi = 0; wi < plan.writes.size(); ++wi) {
+      const PlannedWrite& w = plan.writes[wi];
+      if (w.counterId == net::kNoCounter) continue;
+      int pw = plan.phaseIndex(w.phase);
+      if (pw < 0) continue;
+      for (const net::ClientAddr& d : delivered[wi]) {
+        auto it = waitPhases.find({d.node, d.client, w.counterId});
+        if (it == waitPhases.end()) continue;
+        for (int ep : it->second)
+          for (int r = 0; r < L; ++r)
+            adj[std::size_t(vtx(w.srcNode, pw, r))].push_back(
+                vtx(d.node, ep, r));
+      }
+    }
+
+    std::map<int, std::vector<char>> reachMemo;
+    auto reachableFrom = [&](int src) -> const std::vector<char>& {
+      auto [it, fresh] = reachMemo.emplace(src, std::vector<char>());
+      if (!fresh) return it->second;
+      std::vector<char>& seen = it->second;
+      seen.assign(adj.size(), 0);
+      std::deque<int> q{src};
+      seen[std::size_t(src)] = 1;
+      while (!q.empty()) {
+        int v = q.front();
+        q.pop_front();
+        for (int n : adj[std::size_t(v)])
+          if (!seen[std::size_t(n)]) {
+            seen[std::size_t(n)] = 1;
+            q.push_back(n);
+          }
+      }
+      return seen;
+    };
+
+    std::size_t stride = 1;
+    if (opts.maxBufferOwners > 0 &&
+        plan.buffers.size() > std::size_t(opts.maxBufferOwners)) {
+      stride = (plan.buffers.size() + std::size_t(opts.maxBufferOwners) - 1) /
+               std::size_t(opts.maxBufferOwners);
+      res.sampled = true;
+    }
+    for (std::size_t bi = 0; bi < plan.buffers.size(); bi += stride) {
+      const BufferPlan& b = plan.buffers[bi];
+      ++res.buffersChecked;
+      int fp = plan.phaseIndex(b.freePhase);
+      if (fp < 0 || b.client.node < 0 || b.client.node >= N) {
+        add("buffer-reuse.bad-phase", Severity::kError, b.name,
+            "buffer '" + b.name + "' names unknown free phase '" +
+                b.freePhase + "' or owner " + addrName(b.client),
+            b.client.node);
+        continue;
+      }
+      const std::vector<char>& seen =
+          reachableFrom(vtx(b.client.node, fp, 0));
+      for (const BufferWriter& w : b.writers) {
+        int wp = plan.phaseIndex(w.phase);
+        if (wp < 0 || w.node < 0 || w.node >= N) {
+          add("buffer-reuse.bad-phase", Severity::kError, b.name,
+              "buffer '" + b.name + "' writer names unknown phase '" +
+                  w.phase + "' or node " + std::to_string(w.node),
+              w.node);
+          continue;
+        }
+        if (!seen[std::size_t(vtx(w.node, wp, b.copies))])
+          add("buffer-reuse", Severity::kError, b.name,
+              "buffer '" + b.name + "' at " + addrName(b.client) +
+                  ": no dataflow path from the freeing counter fire (phase '" +
+                  b.freePhase + "') to the round+" + std::to_string(b.copies) +
+                  " write in phase '" + w.phase + "' on node " +
+                  std::to_string(w.node) +
+                  "; the write can land before the copy is free",
+              b.client.node);
+      }
+    }
+  } else {
+    res.buffersChecked = 0;
+  }
+
+  for (Violation& v : coalesce(raw)) {
+    if (v.severity == Severity::kError)
+      res.violations.push_back(std::move(v));
+    else
+      res.lints.push_back(std::move(v));
+  }
+  return res;
+}
+
+}  // namespace anton::verify

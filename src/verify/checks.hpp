@@ -1,0 +1,99 @@
+// The five static checks over a CommPlan (ISSUE 3 tentpole).
+//
+//   1. count consistency   — per sync counter, the packets the plan delivers
+//                            equal the expected per-round increment, and the
+//                            per-source breakdown matches when declared.
+//   2. multicast           — trees are acyclic, dimension-ordered, reach
+//                            exactly their declared destination set, and the
+//                            plan fits the 256-patterns-per-node tables.
+//   3. buffer-reuse safety — a concrete dataflow-reachability argument that
+//                            no writer can touch a receive buffer before the
+//                            counter fire that frees it (SC10 §IV: correct
+//                            reuse without barriers).
+//   4. deadlock freedom    — every unicast route, including degraded-mode
+//                            reroutes around down links, stays
+//                            dimension-ordered; stalls are reported.
+//   5. recovery coverage   — counted-wait sites with no
+//                            RecoverableCountedWrite armed become lints.
+//
+// Structural problems (1-4) are errors; coverage gaps and informational
+// reroute audits are lints. verifyPlan never touches a live Machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/plan.hpp"
+
+namespace anton::verify {
+
+enum class Severity { kError, kLint };
+
+const char* severityName(Severity s);
+
+/// One finding. `check` is a stable machine-readable id:
+///   "count", "count.by-source", "count.unwaited", "count.unknown-pattern",
+///   "multicast.cycle", "multicast.empty-entry", "multicast.dead-entry",
+///   "multicast.dests", "multicast.pattern-limit", "multicast.conflict",
+///   "multicast.dim-order", "buffer-reuse", "buffer-reuse.bad-phase",
+///   "route.dim-order", "route.stalled", "route.degraded",
+///   "recovery-coverage".
+struct Violation {
+  std::string check;
+  Severity severity = Severity::kError;
+  std::string site;    ///< expectation site / buffer / pattern label
+  std::string detail;  ///< human-readable explanation
+  int node = -1;       ///< representative node, -1 when aggregated/global
+  int counterId = -1;
+  int patternId = -1;
+  int count = 1;  ///< identical findings coalesced into this record
+};
+
+/// A torus link taken out of service for route tracing (degraded mode).
+struct DownLink {
+  int node = 0;
+  int dim = 0;
+  int sign = +1;
+  friend constexpr bool operator==(const DownLink&, const DownLink&) = default;
+};
+
+struct VerifyOptions {
+  /// Links assumed down while tracing unicast routes (check 4). Empty means
+  /// verify the healthy machine.
+  std::vector<DownLink> downLinks;
+  /// Whether route-order problems (non-dimension-ordered degraded routes,
+  /// stalled packets) are errors or informational lints.
+  bool routeIssuesAreErrors = true;
+  /// Cap on distinct buffers fully traced by the reachability engine; plans
+  /// above the cap are sampled evenly and the result marked `sampled`.
+  int maxBufferOwners = 96;
+};
+
+struct VerifyResult {
+  std::vector<Violation> violations;  ///< Severity::kError findings
+  std::vector<Violation> lints;       ///< Severity::kLint findings
+  int buffersTotal = 0;
+  int buffersChecked = 0;
+  bool sampled = false;  ///< buffer check ran on a sample, not every owner
+  int routesTraced = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Static route trace mirroring Machine::routeFrom with the identity
+/// dimension order (the deterministic order in-order resends use).
+struct RouteTrace {
+  std::vector<int> nodes;  ///< src first, dst last
+  std::vector<int> dims;   ///< dimension taken at each hop
+  bool dimOrdered = true;  ///< no dimension resumed after another intervened
+  bool degraded = false;   ///< at least one hop avoided a down link
+  bool stalled = false;    ///< every usable dimension was down at some hop
+};
+
+RouteTrace traceUnicastRoute(int srcNode, int dstNode,
+                             const util::TorusShape& shape,
+                             const std::vector<DownLink>& downLinks);
+
+VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts = {});
+
+}  // namespace anton::verify

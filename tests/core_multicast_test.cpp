@@ -126,7 +126,7 @@ TEST(Neighborhood, SyncDeliversToAllNeighbors) {
   // Every node signals once; every node then expects 26 flushes.
   for (int n = 0; n < f.machine.numNodes(); ++n) sync.signal(n);
   int completed = 0;
-  auto waiter = [](Fixture& fx, NeighborhoodSync& s, int n, int& done) -> Task {
+  auto waiter = [](Fixture&, NeighborhoodSync& s, int n, int& done) -> Task {
     co_await s.wait(n, 1);
     ++done;
   };

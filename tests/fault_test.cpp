@@ -5,8 +5,10 @@
 // watchdog must turn a would-be deadlock into a diagnostic.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
+#include "core/recovery.hpp"
 #include "core/watchdog.hpp"
 #include "fault/plan.hpp"
 #include "fault/report.hpp"
@@ -198,6 +200,78 @@ TEST(FaultPlan, DegradedModeRoutesAroundOutage) {
   EXPECT_EQ(f.machine.stats().faultReroutes, 1u);
   EXPECT_EQ(f.machine.linkTraversals(0, 0, +1), 0u);
   EXPECT_EQ(f.machine.linkTraversals(0, 1, +1), 1u);
+}
+
+/// One link permanently dead: traversals that still use it are held briefly
+/// (outage) and then dropped (erasure), and degraded routing sees it as down.
+struct DeadLink final : net::FaultModel {
+  int node, dim, sign;
+  DeadLink(int n, int d, int s) : node(n), dim(d), sign(s) {}
+  net::LinkFaultOutcome onLinkTraversal(int n, int d, int s, std::size_t,
+                                        sim::Time) override {
+    if (n == node && d == dim && s == sign)
+      return {.stall = sim::ns(500), .linkFailed = true};
+    return {};
+  }
+  bool linkDown(int n, int d, int s, sim::Time) const override {
+    return n == node && d == dim && s == sign;
+  }
+  sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+};
+
+TEST(FaultPlan, RerouteOnTimeoutRecoversAroundDeadLink) {
+  // Combined outage + drop: the X+ link out of the origin holds the packet
+  // for the outage window, then drops it. The machine starts with degraded
+  // routing OFF, so the recovery path must do all three steps itself —
+  // the watchdog timeout flips rerouteOnTimeout, the registry replays the
+  // lost payload, and the resend routes Y-first around the dead link.
+  Fixture f({4, 4, 4});
+  core::DropRegistry reg(f.machine);
+  DeadLink fm(f.nodeAt(0, 0, 0), /*dim=*/0, /*sign=*/+1);
+  f.machine.setFaultModel(&fm);
+  EXPECT_FALSE(f.machine.faultReroute());
+
+  const int srcNode = f.nodeAt(0, 0, 0);
+  ClientAddr dst{f.nodeAt(1, 1, 0), kSlice0};
+  NetworkClient& dstClient = f.machine.client(dst);
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(2);
+  rc.maxResends = 3;
+  rc.resendBackoff = sim::us(1);
+  rc.rerouteOnTimeout = true;
+  core::RecoverableCountedWrite rcw(dstClient, 0, rc);
+  rcw.expectFrom(srcNode, 1);
+  bool done = false;
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(1, [&](const core::WatchdogReport& r) {
+      return core::resendFromRegistry(f.machine, reg, r);
+    });
+    done = true;
+  };
+  f.sim.spawn(waiter());
+  std::uint64_t value = 0x162;
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  args.inOrder = true;
+  args.payload = net::makePayload(&value, sizeof value);
+  f.machine.client({srcNode, kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_TRUE(done) << "rerouted step never completed";
+  EXPECT_TRUE(f.machine.faultReroute()) << "timeout did not flip reroute";
+  EXPECT_EQ(dstClient.counterValue(0), 1u);
+  EXPECT_EQ(dstClient.read<std::uint64_t>(0), 0x162u);
+  // The original attempt: one outage stall, then the drop.
+  EXPECT_EQ(f.machine.stats().outageStalls, 1u);
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u);
+  EXPECT_EQ(rcw.stats().timeouts, 1u);
+  EXPECT_EQ(rcw.stats().resends, 1u);
+  EXPECT_EQ(rcw.stats().hardFailures, 0u);
+  // The resend deviated from the dead preferred dimension: Y-first, and the
+  // dead X+ link saw only the doomed original traversal.
+  EXPECT_GE(f.machine.stats().faultReroutes, 1u);
+  EXPECT_EQ(f.machine.linkTraversals(srcNode, 0, +1), 1u);
 }
 
 TEST(FaultPlan, StalledRouterDelaysRingTraffic) {

@@ -89,7 +89,9 @@ TEST(Latency, PerHopYandZRoughly54ns) {
       c[dim] = h;
       double ns = oneWayNs(g, {nodeAt(g, 0, 0, 0), kSlice0},
                            {util::torusIndex(c, g.machine.shape()), kSlice0}, 0);
-      if (h > 1) EXPECT_DOUBLE_EQ(ns - prev, 54.0) << "dim " << dim << " hop " << h;
+      if (h > 1) {
+        EXPECT_DOUBLE_EQ(ns - prev, 54.0) << "dim " << dim << " hop " << h;
+      }
       prev = ns;
     }
   }

@@ -1,0 +1,423 @@
+// verify_plans: static communication-plan verifier CLI (ISSUE 3 tentpole).
+//
+// Extracts the static communication graph of each shipped configuration —
+// the quickstart MD run, the Fig. 5 ping topology, the Table 2 all-reduce
+// tori, the Table 3 512-node MD system, and the cluster-baseline all-reduce
+// — WITHOUT running the simulator, and checks count consistency, multicast
+// well-formedness, buffer-reuse safety, route dimension order (healthy and
+// degraded), and recovery coverage (src/verify/checks.hpp).
+//
+// Output is strict JSON lines on stdout, mirrored to VERIFY_plans.json:
+//   {"kind":"plan", ...}       one per verified plan
+//   {"kind":"violation", ...}  each Severity::kError finding
+//   {"kind":"lint", ...}       each Severity::kLint finding
+//   {"kind":"selftest", ...}   each seeded known-bad plan (must fire)
+//   {"kind":"summary", ...}    totals; "ok" decides the exit code
+//
+// Exit status: 0 when every shipped plan is violation-free and every seeded
+// bad plan produced its expected violation; 1 otherwise.
+//
+// Flags: --fast (skip the 512-node Table 3 extraction),
+//        --selftest-only (run only the seeded bad plans).
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/collectives.hpp"
+#include "core/allreduce.hpp"
+#include "md/anton_app.hpp"
+#include "verify/checks.hpp"
+
+using anton::bench::JsonReporter;
+
+namespace {
+
+namespace verify = anton::verify;
+namespace md = anton::md;
+namespace net = anton::net;
+namespace core = anton::core;
+
+struct Emitter {
+  JsonReporter file{"verify_plans", "VERIFY_plans.json"};
+  void line(const std::string& l) {
+    std::cout << l << '\n';
+    file.raw(l);
+  }
+};
+
+struct Totals {
+  int plans = 0;
+  int violations = 0;
+  int lints = 0;
+  int selftests = 0;
+  int selftestFailures = 0;
+};
+
+std::string shapeStr(const anton::util::TorusShape& s) {
+  return std::to_string(s.extent(0)) + "x" + std::to_string(s.extent(1)) +
+         "x" + std::to_string(s.extent(2));
+}
+
+std::string findingLine(const std::string& plan, const verify::Violation& v) {
+  std::ostringstream os;
+  os << "{\"kind\":"
+     << JsonReporter::quoted(v.severity == verify::Severity::kError
+                                 ? "violation"
+                                 : "lint")
+     << ",\"plan\":" << JsonReporter::quoted(plan)
+     << ",\"check\":" << JsonReporter::quoted(v.check)
+     << ",\"site\":" << JsonReporter::quoted(v.site) << ",\"node\":" << v.node
+     << ",\"counter\":" << v.counterId << ",\"pattern\":" << v.patternId
+     << ",\"count\":" << v.count
+     << ",\"detail\":" << JsonReporter::quoted(v.detail) << "}";
+  return os.str();
+}
+
+verify::VerifyResult runPlan(Emitter& em, Totals& t,
+                             const verify::CommPlan& plan,
+                             const verify::VerifyOptions& opts = {}) {
+  verify::VerifyResult r = verify::verifyPlan(plan, opts);
+  ++t.plans;
+  t.violations += int(r.violations.size());
+  t.lints += int(r.lints.size());
+  std::ostringstream os;
+  os << "{\"kind\":\"plan\",\"plan\":" << JsonReporter::quoted(plan.name)
+     << ",\"shape\":" << JsonReporter::quoted(shapeStr(plan.shape))
+     << ",\"phases\":" << plan.phases.size()
+     << ",\"writes\":" << plan.writes.size()
+     << ",\"expectations\":" << plan.expectations.size()
+     << ",\"multicasts\":" << plan.multicasts.size()
+     << ",\"buffers\":" << r.buffersTotal
+     << ",\"buffersChecked\":" << r.buffersChecked
+     << ",\"sampled\":" << (r.sampled ? "true" : "false")
+     << ",\"routesTraced\":" << r.routesTraced
+     << ",\"violations\":" << r.violations.size()
+     << ",\"lints\":" << r.lints.size()
+     << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
+  em.line(os.str());
+  for (const verify::Violation& v : r.violations)
+    em.line(findingLine(plan.name, v));
+  for (const verify::Violation& v : r.lints)
+    em.line(findingLine(plan.name, v));
+  return r;
+}
+
+// --- shipped plans -----------------------------------------------------------
+
+verify::CommPlan mdPlan(const std::string& name, anton::util::TorusShape shape,
+                        int atoms, md::AntonMdConfig cfg) {
+  anton::sim::Simulator sim;
+  net::Machine machine(sim, shape);
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = atoms;
+  sp.seed = 2010;
+  md::AntonMdApp app(machine, md::buildSyntheticSystem(sp), cfg);
+  verify::CommPlan p = app.extractCommPlan();
+  p.name = name;
+  return p;
+}
+
+md::AntonMdConfig quickstartConfig() {
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.thermostatTau = 0.05;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.recoveryTimeoutUs = 5000;  // arm RecoverableCountedWrite on the waits
+  cfg.recoveryMaxResends = 6;
+  return cfg;
+}
+
+md::AntonMdConfig table3Config() {
+  md::AntonMdConfig cfg = quickstartConfig();
+  cfg.force.cutoff = 2.6;
+  cfg.ewald.grid = 32;
+  cfg.homeBoxMarginFrac = 0.08;  // Table 3 bench configuration
+  cfg.migrationInterval = 100;
+  return cfg;
+}
+
+verify::CommPlan allReducePlan(anton::util::TorusShape shape) {
+  anton::sim::Simulator sim;
+  net::Machine machine(sim, shape);
+  core::DimOrderedAllReduce reduce(machine);
+  verify::CommPlan p;
+  p.name = "table2-allreduce-" + shapeStr(shape);
+  p.shape = shape;
+  reduce.appendPlan(p, "");
+  return p;
+}
+
+verify::CommPlan clusterPlan(int numNodes) {
+  verify::CommPlan p;
+  p.name = "cluster-allreduce-" + std::to_string(numNodes);
+  anton::cluster::appendAllReducePlan(p, numNodes, "");
+  return p;
+}
+
+/// Fig. 5 topology: ping-pong between node 0 and corners at increasing hop
+/// distance on the 512-node torus. The pong is what makes the receive slot
+/// reusable without a barrier, so the plan models both directions.
+verify::CommPlan fig5Plan() {
+  verify::CommPlan p;
+  p.name = "fig5-ping";
+  p.shape = {8, 8, 8};
+  p.addPhaseEdge("ping.send", "ping.recv");
+  p.addPhaseEdge("ping.recv", "ping.ack");
+  const anton::util::TorusCoord corners[] = {
+      {1, 0, 0}, {2, 0, 0}, {4, 0, 0}, {4, 4, 0}, {4, 4, 4}};
+  verify::CounterExpectation ack;
+  ack.site = "ping.ack";
+  ack.phase = "ping.ack";
+  ack.client = {0, net::kSlice0};
+  ack.counterId = 1;
+  verify::BufferPlan ackBuf;
+  ackBuf.name = "ping.ackslots";
+  ackBuf.client = {0, net::kSlice0};
+  ackBuf.bytes = std::uint32_t(std::size(corners)) * 32u;
+  ackBuf.freePhase = "ping.ack";
+  for (std::size_t i = 0; i < std::size(corners); ++i) {
+    int dst = anton::util::torusIndex(corners[i], p.shape);
+    verify::PlannedWrite ping;
+    ping.phase = "ping.send";
+    ping.srcNode = 0;
+    ping.dst = {dst, net::kSlice0};
+    ping.counterId = 0;
+    p.writes.push_back(ping);
+
+    verify::CounterExpectation e;
+    e.site = "ping.recv";
+    e.phase = "ping.recv";
+    e.client = {dst, net::kSlice0};
+    e.counterId = 0;
+    e.perRound = 1;
+    e.bySource[0] = 1;
+    e.recoveryArmed = true;  // the fault bench arms the ping write
+    p.expectations.push_back(std::move(e));
+
+    verify::BufferPlan b;
+    b.name = "ping.slot." + std::to_string(dst);
+    b.client = {dst, net::kSlice0};
+    b.bytes = 32;
+    b.freePhase = "ping.recv";
+    b.writers.push_back({0, "ping.send"});
+    p.buffers.push_back(std::move(b));
+
+    verify::PlannedWrite pong;
+    pong.phase = "ping.recv";
+    pong.srcNode = dst;
+    pong.dst = {0, net::kSlice0};
+    pong.counterId = 1;
+    p.writes.push_back(pong);
+    ack.perRound += 1;
+    ack.bySource[dst] = 1;
+    ackBuf.writers.push_back({dst, "ping.recv"});
+  }
+  ack.recoveryArmed = true;
+  p.expectations.push_back(std::move(ack));
+  p.buffers.push_back(std::move(ackBuf));
+  return p;
+}
+
+// --- seeded known-bad plans (each must fire its specific check) -------------
+
+struct SelfTest {
+  std::string name;
+  std::string expect;  ///< check id that must appear among the violations
+  verify::CommPlan plan;
+  verify::VerifyOptions opts;
+};
+
+std::vector<SelfTest> selfTests() {
+  std::vector<SelfTest> tests;
+  {
+    SelfTest t;  // wait expects 2 packets/round, plan delivers 1
+    t.name = "bad-count";
+    t.expect = "count";
+    t.plan.name = t.name;
+    t.plan.shape = {2, 1, 1};
+    t.plan.addPhaseEdge("send", "recv");
+    verify::PlannedWrite w;
+    w.phase = "send";
+    w.srcNode = 0;
+    w.dst = {1, net::kSlice0};
+    w.counterId = 0;
+    t.plan.writes.push_back(w);
+    verify::CounterExpectation e;
+    e.site = "recv";
+    e.phase = "recv";
+    e.client = {1, net::kSlice0};
+    e.counterId = 0;
+    e.perRound = 2;
+    e.recoveryArmed = true;
+    t.plan.expectations.push_back(e);
+    tests.push_back(std::move(t));
+  }
+  {
+    SelfTest t;  // +x links all the way around a 4-ring: the walk re-enters
+    t.name = "bad-multicast-cycle";
+    t.expect = "multicast.cycle";
+    t.plan.name = t.name;
+    t.plan.shape = {4, 1, 1};
+    verify::MulticastPlanEntry m;
+    m.patternId = 7;
+    m.srcNode = 0;
+    int xPlus = net::RingLayout::adapterIndex(0, +1);
+    for (int n = 0; n < 4; ++n)
+      m.entries[n].linkMask = std::uint8_t(1u << xPlus);
+    m.entries[2].clientMask = std::uint8_t(1u << net::kSlice0);
+    m.declaredDests = {{2, net::kSlice0}};
+    t.plan.multicasts.push_back(std::move(m));
+    tests.push_back(std::move(t));
+  }
+  {
+    SelfTest t;  // pattern id beyond the 256-entry per-node tables
+    t.name = "bad-pattern-limit";
+    t.expect = "multicast.pattern-limit";
+    t.plan.name = t.name;
+    t.plan.shape = {2, 1, 1};
+    verify::MulticastPlanEntry m;
+    m.patternId = net::kMulticastPatterns;  // first invalid id
+    m.srcNode = 0;
+    m.entries[0].clientMask = std::uint8_t(1u << net::kSlice0);
+    m.declaredDests = {{0, net::kSlice0}};
+    t.plan.multicasts.push_back(std::move(m));
+    tests.push_back(std::move(t));
+  }
+  {
+    SelfTest t;  // no return traffic: nothing orders the next-round write
+    t.name = "bad-buffer-reuse";
+    t.expect = "buffer-reuse";
+    t.plan.name = t.name;
+    t.plan.shape = {2, 1, 1};
+    t.plan.addPhaseEdge("send", "recv");
+    verify::PlannedWrite w;
+    w.phase = "send";
+    w.srcNode = 0;
+    w.dst = {1, net::kSlice0};
+    w.counterId = 0;
+    t.plan.writes.push_back(w);
+    verify::CounterExpectation e;
+    e.site = "recv";
+    e.phase = "recv";
+    e.client = {1, net::kSlice0};
+    e.counterId = 0;
+    e.perRound = 1;
+    e.recoveryArmed = true;
+    t.plan.expectations.push_back(e);
+    verify::BufferPlan b;
+    b.name = "slot";
+    b.client = {1, net::kSlice0};
+    b.bytes = 32;
+    b.freePhase = "recv";
+    b.writers.push_back({0, "send"});
+    t.plan.buffers.push_back(b);
+    tests.push_back(std::move(t));
+  }
+  {
+    SelfTest t;  // reroute around a mid-path outage resumes x after y: x,y,x
+    t.name = "bad-route-dim-order";
+    t.expect = "route.dim-order";
+    t.plan.name = t.name;
+    t.plan.shape = {4, 4, 1};
+    t.plan.addPhaseEdge("send", "recv");
+    verify::PlannedWrite w;
+    w.phase = "send";
+    w.srcNode = 0;
+    w.dst = {anton::util::torusIndex({2, 1, 0}, t.plan.shape), net::kSlice0};
+    w.counterId = 0;
+    t.plan.writes.push_back(w);
+    verify::CounterExpectation e;
+    e.site = "recv";
+    e.phase = "recv";
+    e.client = w.dst;
+    e.counterId = 0;
+    e.perRound = 1;
+    e.recoveryArmed = true;
+    t.plan.expectations.push_back(e);
+    t.opts.downLinks = {{1, 0, +1}};  // +x out of node (1,0,0) is down
+    t.opts.routeIssuesAreErrors = true;
+    tests.push_back(std::move(t));
+  }
+  return tests;
+}
+
+void runSelfTests(Emitter& em, Totals& t) {
+  for (SelfTest& st : selfTests()) {
+    verify::VerifyResult r = verify::verifyPlan(st.plan, st.opts);
+    bool fired = false;
+    for (const verify::Violation& v : r.violations)
+      if (v.check == st.expect) fired = true;
+    ++t.selftests;
+    if (!fired) ++t.selftestFailures;
+    std::ostringstream os;
+    os << "{\"kind\":\"selftest\",\"plan\":" << JsonReporter::quoted(st.name)
+       << ",\"expected\":" << JsonReporter::quoted(st.expect)
+       << ",\"violations\":" << r.violations.size()
+       << ",\"fired\":" << (fired ? "true" : "false") << "}";
+    em.line(os.str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false, selftestOnly = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    else if (std::strcmp(argv[i], "--selftest-only") == 0) selftestOnly = true;
+    else {
+      std::cerr << "usage: verify_plans [--fast] [--selftest-only]\n";
+      return 2;
+    }
+  }
+  try {
+    Emitter em;
+    Totals t;
+    if (!selftestOnly) {
+      runPlan(em, t, mdPlan("quickstart-md", {4, 4, 4}, 1536,
+                            quickstartConfig()));
+      runPlan(em, t, fig5Plan());
+      {
+        // The same topology audited in degraded mode: a down +x link out of
+        // node 0 exercises the reroute path (lints, not errors, so the
+        // shipped plan stays green while the reroutes are reported).
+        verify::CommPlan p = fig5Plan();
+        p.name = "fig5-ping-degraded";
+        verify::VerifyOptions opts;
+        opts.downLinks = {{0, 0, +1}};
+        opts.routeIssuesAreErrors = false;
+        runPlan(em, t, p, opts);
+      }
+      for (anton::util::TorusShape shape :
+           {anton::util::TorusShape{4, 4, 4}, {8, 2, 8}, {8, 8, 4}, {8, 8, 8},
+            {8, 8, 16}})
+        runPlan(em, t, allReducePlan(shape));
+      runPlan(em, t, clusterPlan(512));
+      if (!fast)
+        runPlan(em, t, mdPlan("table3-md-8x8x8", {8, 8, 8}, 23558,
+                              table3Config()));
+    }
+    runSelfTests(em, t);
+
+    bool ok = t.violations == 0 && t.selftestFailures == 0;
+    std::ostringstream os;
+    os << "{\"kind\":\"summary\",\"plans\":" << t.plans
+       << ",\"violations\":" << t.violations << ",\"lints\":" << t.lints
+       << ",\"selftests\":" << t.selftests
+       << ",\"selftestFailures\":" << t.selftestFailures
+       << ",\"ok\":" << (ok ? "true" : "false") << "}";
+    em.line(os.str());
+    std::cerr << (ok ? "verify_plans: OK" : "verify_plans: FAILED") << " ("
+              << t.plans << " plans, " << t.violations << " violations, "
+              << t.lints << " lints, " << t.selftestFailures << "/"
+              << t.selftests << " selftest failures)\n";
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "verify_plans: " << e.what() << "\n";
+    return 2;
+  }
+}
