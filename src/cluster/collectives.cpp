@@ -49,6 +49,7 @@ std::string appendAllReducePlan(verify::CommPlan& plan, int numNodes,
       w.srcNode = node;
       w.dst = {partner, 0};
       w.counterId = tagBase + r;
+      w.seq = 0;  // allReduce() sends to the partner before posting the recv
       plan.writes.push_back(w);
 
       verify::CounterExpectation e;
@@ -59,6 +60,7 @@ std::string appendAllReducePlan(verify::CommPlan& plan, int numNodes,
       e.perRound = 1;
       e.bySource[partner] = 1;
       e.recoveryArmed = true;  // reliable transport, not a raw counted write
+      e.seq = 1;
       plan.expectations.push_back(std::move(e));
     }
   }

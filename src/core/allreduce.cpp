@@ -98,6 +98,10 @@ std::string DimOrderedAllReduce::appendPlan(verify::CommPlan& plan,
       w.srcNode = s;
       w.pattern = patternId(dim, pos);
       w.counterId = cfg_.counterId;
+      // run() multicasts the local partial *before* waiting on the line's
+      // peers — the send depends on nothing inside this phase. That order is
+      // exactly why the receive slots need parity double buffering.
+      w.seq = 0;
       plan.writes.push_back(w);
 
       verify::CounterExpectation e;
@@ -106,6 +110,7 @@ std::string DimOrderedAllReduce::appendPlan(verify::CommPlan& plan,
       e.client = {s, dim};
       e.counterId = cfg_.counterId;
       e.perRound = std::uint64_t(n - 1);
+      e.seq = 1;  // the wait follows the send (see above)
 
       verify::BufferPlan b;
       b.name = phase + ".slots";

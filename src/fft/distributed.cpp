@@ -163,12 +163,17 @@ std::string DistributedFft3D::appendPlan(verify::CommPlan& plan,
       util::TorusCoord coord = util::torusCoordOf(n, shape);
       const std::uint64_t myOwned = linesAtPos(coord[d]);
 
+      // The transform coroutine waits on the gather counter, reads, runs the
+      // FFT and only then scatters: the defaults (waits at seq 0, sends at
+      // seq 1) are the live order, stated here explicitly because the
+      // event-granular checks depend on it.
       verify::CounterExpectation ge;
       ge.site = pGather;
       ge.phase = pXform;
       ge.client = {n, cfg_.fftSlice};
       ge.counterId = gatherCtr;
       ge.perRound = myOwned * std::uint64_t(p.ringSize) * pps;
+      ge.seq = 0;
 
       verify::CounterExpectation se;
       se.site = pXform;  // the scatter writes are issued from xform
@@ -212,7 +217,8 @@ std::string DistributedFft3D::appendPlan(verify::CommPlan& plan,
         }
         ge.bySource[peer] = myOwned * pps;
         if (myOwned != 0) gb.writers.push_back({peer, pGather});
-        // Scatter: my owned lines' segments back to every ring node.
+        // Scatter: my owned lines' segments back to every ring node. The
+        // sends follow the gather wait in program order (w.seq = 1 default).
         if (myOwned != 0) {
           verify::PlannedWrite w;
           w.phase = pXform;
@@ -220,6 +226,7 @@ std::string DistributedFft3D::appendPlan(verify::CommPlan& plan,
           w.dst = {peer, cfg_.fftSlice};
           w.counterId = scatterCtr;
           w.packets = myOwned * pps;
+          w.seq = 1;
           plan.writes.push_back(w);
         }
       }

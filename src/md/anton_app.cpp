@@ -1136,7 +1136,8 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
   plan.addPhaseEdge("md.bonded", "md.forcewait");
   plan.addPhaseEdge("md.interp", "md.forcewait");
   tail = allReduce_->appendPlan(plan, "md.forcewait");
-  plan.addPhaseEdge(tail, "md.migrate");
+  plan.addPhaseEdge(tail, "md.fifo");
+  plan.addPhaseEdge("md.fifo", "md.migrate");
 
   // Current home node per gid (bonded by-source expectations).
   std::vector<int> home(charges_.size(), -1);
@@ -1348,6 +1349,20 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
       plan.expectations.push_back(std::move(e));
     }
 
+    // --- md.fifo: migrating atoms stream to the 26-neighborhood -----------
+    // Stochastic, uncounted in-order FIFO traffic (SC10 §IV-B5): the plan
+    // cannot know how many atoms leave, only where they may go. One nominal
+    // record per neighbor documents the lanes the flush below fences.
+    for (int nb : migrationSync_->neighbors(n)) {
+      verify::PlannedWrite w;
+      w.phase = "md.fifo";
+      w.srcNode = n;
+      w.dst = {nb, net::kSlice0};
+      w.inOrder = true;
+      w.fifo = true;
+      plan.writes.push_back(std::move(w));
+    }
+
     // --- md.migrate: in-order flush to the 26-neighborhood ----------------
     {
       verify::PlannedWrite w;
@@ -1357,6 +1372,10 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
       w.counterId = migrationSync_->counterId();
       w.packets = 1;
       w.inOrder = true;
+      // migrationPhase() signals the flush first and only then waits on the
+      // neighbors' flushes — the in-order flush rides behind the md.fifo
+      // records and fences them, it does not depend on the local wait.
+      w.seq = 0;
       plan.writes.push_back(std::move(w));
 
       verify::CounterExpectation e;
@@ -1367,6 +1386,7 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
       e.perRound = migrationSync_->expectedPerRound(n);
       for (int nb : migrationSync_->neighbors(n)) e.bySource[nb] = 1;
       e.recoveryArmed = false;  // FIFO flush: plain counter wait
+      e.seq = 1;
       plan.expectations.push_back(std::move(e));
     }
   }

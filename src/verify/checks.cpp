@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <set>
 #include <string>
 #include <tuple>
+
+#include "net/latency.hpp"
+#include "verify/events.hpp"
 
 namespace anton::verify {
 namespace {
@@ -134,6 +136,72 @@ RouteTrace traceUnicastRoute(int srcNode, int dstNode, const TorusShape& shape,
   return tr;
 }
 
+TreeRepair repairMulticastTree(const MulticastPlanEntry& entry,
+                               const TorusShape& shape,
+                               const std::vector<DownLink>& downLinks) {
+  TreeRepair rep;
+  TreeExpansion degraded = expandTree(entry, shape, downLinks);
+  std::set<std::pair<int, int>> degReached;
+  for (const net::ClientAddr& a : degraded.reached)
+    degReached.insert({a.node, a.client});
+  for (const net::ClientAddr& d : entry.declaredDests)
+    if (!degReached.count({d.node, d.client})) rep.lostDests.push_back(d);
+  if (rep.lostDests.empty()) {  // every declared delivery survives the cuts
+    rep.repaired = entry;
+    return rep;
+  }
+
+  // Rebuild the forwarding tables from scratch as the union of degraded
+  // unicast routes from the source to every declared destination — the same
+  // first-healthy-dimension policy recovery resends use, so the repaired
+  // tree is exactly what a resend sweep would trace.
+  std::set<std::pair<int, int>> lost;
+  for (const net::ClientAddr& d : rep.lostDests) lost.insert({d.node, d.client});
+  MulticastPlanEntry r;
+  r.patternId = entry.patternId;
+  r.srcNode = entry.srcNode;
+  r.declaredDests = entry.declaredDests;
+  for (const net::ClientAddr& d : entry.declaredDests) {
+    if (d.node < 0 || d.node >= shape.size() || d.client < 0 ||
+        d.client >= net::kClientsPerNode)
+      continue;  // malformed dests are check-2 findings, not repair targets
+    RouteTrace tr =
+        traceUnicastRoute(entry.srcNode, d.node, shape, downLinks);
+    if (tr.stalled) {
+      rep.stalledDests.push_back(d);
+      continue;
+    }
+    r.entries[d.node].clientMask |= std::uint8_t(1u << d.client);
+    if (!tr.dimOrdered) ++rep.nonDimOrderedRoutes;
+    if (lost.count({d.node, d.client})) ++rep.reroutedDests;
+    for (std::size_t i = 0; i + 1 < tr.nodes.size(); ++i) {
+      int dim = tr.dims[i];
+      TorusCoord a = util::torusCoordOf(tr.nodes[i], shape);
+      TorusCoord b = util::torusCoordOf(tr.nodes[i + 1], shape);
+      int sign =
+          util::wrap(b[dim] - a[dim], shape.extent(dim)) == 1 ? +1 : -1;
+      r.entries[tr.nodes[i]].linkMask |=
+          std::uint8_t(1u << net::RingLayout::adapterIndex(dim, sign));
+    }
+  }
+  rep.repaired = std::move(r);
+
+  // Validate the merged tables: replicas follow the union of the routes, so
+  // every routed destination must still be delivered under the same cuts.
+  TreeExpansion check = expandTree(rep.repaired, shape, downLinks);
+  std::set<std::pair<int, int>> covered;
+  for (const net::ClientAddr& a : check.reached)
+    covered.insert({a.node, a.client});
+  std::set<std::pair<int, int>> stalled;
+  for (const net::ClientAddr& d : rep.stalledDests)
+    stalled.insert({d.node, d.client});
+  for (const net::ClientAddr& d : entry.declaredDests)
+    if (!stalled.count({d.node, d.client}) &&
+        !covered.count({d.node, d.client}))
+      rep.stalledDests.push_back(d);
+  return rep;
+}
+
 VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
   VerifyResult res;
   std::vector<Violation> raw;
@@ -228,6 +296,47 @@ VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
           }
       add("multicast.dests", Severity::kError, site, detail, m.srcNode, -1,
           m.patternId);
+    }
+
+    if (!opts.downLinks.empty()) {
+      // Re-run the fan-out with the declared links cut. A lost destination
+      // means the live machine would stall the fan-out today; report whether
+      // rerouted unicast trees (what a recovery resend sweep traces) can
+      // re-cover the full destination set.
+      TreeExpansion deg = expandTree(m, plan.shape, opts.downLinks);
+      std::set<std::pair<int, int>> degReached;
+      for (const net::ClientAddr& a : deg.reached)
+        degReached.insert({a.node, a.client});
+      bool lossy = !deg.cutLinks.empty();
+      for (const auto& d : reached)
+        if (!degReached.count(d)) lossy = true;
+      if (lossy) {
+        TreeRepair rep = repairMulticastTree(m, plan.shape, opts.downLinks);
+        if (rep.ok()) {
+          ++res.multicastsRepaired;
+          std::string detail =
+              "down links cut " + std::to_string(rep.lostDests.size()) +
+              " of " + std::to_string(m.declaredDests.size()) +
+              " destination(s) from the tree; repaired by rerouting (" +
+              std::to_string(rep.reroutedDests) + " rerouted";
+          if (rep.nonDimOrderedRoutes > 0)
+            detail += ", " + std::to_string(rep.nonDimOrderedRoutes) +
+                      " repair route(s) not dimension-ordered";
+          detail += ")";
+          add("multicast.degraded", Severity::kLint, site, detail, m.srcNode,
+              -1, m.patternId);
+        } else {
+          ++res.multicastsStalled;
+          add("multicast.stalled", routeSev, site,
+              "down links cut " + std::to_string(rep.lostDests.size()) +
+                  " destination(s) from the tree and " +
+                  std::to_string(rep.stalledDests.size()) +
+                  " (first: " + addrName(rep.stalledDests.front()) +
+                  ") cannot be re-covered by any degraded route; the "
+                  "fan-out stalls for the outage",
+              m.srcNode, -1, m.patternId);
+        }
+      }
     }
   }
   for (const auto& [node, ids] : patternsPerNode)
@@ -377,83 +486,64 @@ VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
           w.srcNode, w.counterId);
   }
 
-  // ---- check 3: buffer-reuse safety -------------------------------------
-  // Concrete reachability over vertices (node, phase, round): program-order
-  // edges within a node and round, round-wrap edges from each node's sink
-  // phases to its source phases, and write->wait edges from a write's
-  // issuing phase to every wait site its counter satisfies. A buffer with
-  // `copies` copies is reused safely iff the counter fire that frees a copy
-  // (freePhase, round r) happens-before every write into it in round
-  // r + copies — the §4 no-barrier argument, checked as path existence.
+  // ---- checks 3 + 6: event-granular happens-before graph -----------------
+  // Every phase is expanded into its ordered operations (waits, buffer
+  // frees, counted sends) and the checks run over concrete reachability on
+  // the unrolled graph (verify/events.hpp). Buffer reuse: the counter fire
+  // that frees a copy in round r must happen-before every write into it in
+  // round r + copies — the §4 no-barrier argument at the granularity where
+  // the single-buffered all-reduce actually breaks. Static deadlock: a cycle
+  // in the graph is a wait that transitively blocks the send that would
+  // satisfy it.
   res.buffersTotal = int(plan.buffers.size());
-  if (!plan.buffers.empty() && !plan.phases.empty()) {
-    const int P = int(plan.phases.size());
+  if (!plan.phases.empty()) {
     const int N = plan.shape.size();
     int maxCopies = 1;
     for (const BufferPlan& b : plan.buffers)
       maxCopies = std::max(maxCopies, b.copies);
-    const int L = maxCopies + 1;
-    auto vtx = [&](int n, int p, int r) { return (n * P + p) * L + r; };
-    std::vector<std::vector<int>> adj(std::size_t(N) * std::size_t(P) *
-                                      std::size_t(L));
+    EventGraph graph(plan, maxCopies + 1, delivered);
+    res.eventsModeled = graph.numSlots();
 
-    std::vector<char> hasIn(std::size_t(P), 0), hasOut(std::size_t(P), 0);
-    for (const auto& [f, t] : plan.phaseEdges) {
-      if (f < 0 || f >= P || t < 0 || t >= P) continue;
-      hasOut[std::size_t(f)] = 1;
-      hasIn[std::size_t(t)] = 1;
-      for (int n = 0; n < N; ++n)
-        for (int r = 0; r < L; ++r)
-          adj[std::size_t(vtx(n, f, r))].push_back(vtx(n, t, r));
-    }
-    for (int p = 0; p < P; ++p) {
-      if (hasOut[std::size_t(p)]) continue;
-      for (int q = 0; q < P; ++q) {
-        if (hasIn[std::size_t(q)]) continue;
-        for (int n = 0; n < N; ++n)
-          for (int r = 0; r + 1 < L; ++r)
-            adj[std::size_t(vtx(n, p, r))].push_back(vtx(n, q, r + 1));
+    std::vector<int> cycle = graph.findCycle();
+    if (!cycle.empty()) {
+      // Prefer the real operations over phase anchors in the diagnostic, but
+      // fall back to anchors when the cycle is purely structural.
+      std::vector<int> shown;
+      for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        EventKind k = graph.event(graph.slotOf(cycle[i])).kind;
+        if (k != EventKind::kPhaseEntry && k != EventKind::kPhaseExit)
+          shown.push_back(cycle[i]);
       }
+      if (shown.empty())
+        shown.assign(cycle.begin(), cycle.end() - 1);
+      std::string detail = "happens-before cycle (" +
+                           std::to_string(cycle.size() - 1) + " event(s)): ";
+      const std::size_t cap = 12;
+      for (std::size_t i = 0; i < shown.size() && i < cap; ++i) {
+        if (i) detail += " -> ";
+        detail += graph.describe(shown[i]);
+      }
+      if (shown.size() > cap)
+        detail += " -> ... (" + std::to_string(shown.size() - cap) + " more)";
+      detail += " -> (back to start); the plan can never make progress";
+      add("event.deadlock", Severity::kError, "event-graph", detail,
+          graph.event(graph.slotOf(cycle.front())).node);
     }
-    std::map<CounterKey, std::vector<int>> waitPhases;
-    for (const CounterExpectation& e : plan.expectations) {
-      int p = plan.phaseIndex(e.phase);
-      if (p >= 0)
-        waitPhases[{e.client.node, e.client.client, e.counterId}].push_back(p);
-    }
+
+    // Which writes from (node, phase) deliver into a given client: the
+    // buffer's declared writers are matched to their send events so the
+    // reachability target is the actual counted send, not the whole phase.
+    std::map<std::pair<int, int>, std::vector<std::size_t>> writesAt;
     for (std::size_t wi = 0; wi < plan.writes.size(); ++wi) {
-      const PlannedWrite& w = plan.writes[wi];
-      if (w.counterId == net::kNoCounter) continue;
-      int pw = plan.phaseIndex(w.phase);
-      if (pw < 0) continue;
-      for (const net::ClientAddr& d : delivered[wi]) {
-        auto it = waitPhases.find({d.node, d.client, w.counterId});
-        if (it == waitPhases.end()) continue;
-        for (int ep : it->second)
-          for (int r = 0; r < L; ++r)
-            adj[std::size_t(vtx(w.srcNode, pw, r))].push_back(
-                vtx(d.node, ep, r));
-      }
+      int pw = plan.phaseIndex(plan.writes[wi].phase);
+      if (pw >= 0) writesAt[{plan.writes[wi].srcNode, pw}].push_back(wi);
     }
 
     std::map<int, std::vector<char>> reachMemo;
     auto reachableFrom = [&](int src) -> const std::vector<char>& {
       auto [it, fresh] = reachMemo.emplace(src, std::vector<char>());
-      if (!fresh) return it->second;
-      std::vector<char>& seen = it->second;
-      seen.assign(adj.size(), 0);
-      std::deque<int> q{src};
-      seen[std::size_t(src)] = 1;
-      while (!q.empty()) {
-        int v = q.front();
-        q.pop_front();
-        for (int n : adj[std::size_t(v)])
-          if (!seen[std::size_t(n)]) {
-            seen[std::size_t(n)] = 1;
-            q.push_back(n);
-          }
-      }
-      return seen;
+      if (fresh) it->second = graph.reachableFrom(src);
+      return it->second;
     };
 
     std::size_t stride = 1;
@@ -466,8 +556,8 @@ VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
     for (std::size_t bi = 0; bi < plan.buffers.size(); bi += stride) {
       const BufferPlan& b = plan.buffers[bi];
       ++res.buffersChecked;
-      int fp = plan.phaseIndex(b.freePhase);
-      if (fp < 0 || b.client.node < 0 || b.client.node >= N) {
+      int fs = graph.freeSlot(bi);
+      if (fs < 0 || b.client.node < 0 || b.client.node >= N) {
         add("buffer-reuse.bad-phase", Severity::kError, b.name,
             "buffer '" + b.name + "' names unknown free phase '" +
                 b.freePhase + "' or owner " + addrName(b.client),
@@ -475,7 +565,7 @@ VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
         continue;
       }
       const std::vector<char>& seen =
-          reachableFrom(vtx(b.client.node, fp, 0));
+          reachableFrom(graph.vertex(fs, 0));
       for (const BufferWriter& w : b.writers) {
         int wp = plan.phaseIndex(w.phase);
         if (wp < 0 || w.node < 0 || w.node >= N) {
@@ -485,15 +575,36 @@ VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts) {
               w.node);
           continue;
         }
-        if (!seen[std::size_t(vtx(w.node, wp, b.copies))])
+        // The writer's send events into this buffer's owner; when the phase
+        // has no modeled write into the owner, fall back to the phase-entry
+        // anchor (preserves the coarse argument for unmodeled writes).
+        std::vector<int> targets;
+        auto wit = writesAt.find({w.node, wp});
+        if (wit != writesAt.end()) {
+          for (std::size_t wi : wit->second) {
+            bool hits = false;
+            for (const net::ClientAddr& d : delivered[wi])
+              if (d.node == b.client.node && d.client == b.client.client) {
+                hits = true;
+                break;
+              }
+            if (hits && graph.sendSlot(wi) >= 0)
+              targets.push_back(graph.sendSlot(wi));
+          }
+        }
+        if (targets.empty()) targets.push_back(graph.entrySlot(w.node, wp));
+        for (int slot : targets) {
+          int target = graph.vertex(slot, b.copies);
+          if (seen[std::size_t(target)]) continue;
           add("buffer-reuse", Severity::kError, b.name,
               "buffer '" + b.name + "' at " + addrName(b.client) +
-                  ": no dataflow path from the freeing counter fire (phase '" +
-                  b.freePhase + "') to the round+" + std::to_string(b.copies) +
-                  " write in phase '" + w.phase + "' on node " +
-                  std::to_string(w.node) +
+                  ": no happens-before path from the freeing counter fire "
+                  "(phase '" + b.freePhase + "', round 0) to " +
+                  graph.describe(target) +
                   "; the write can land before the copy is free",
               b.client.node);
+          break;  // one finding per writer record
+        }
       }
     }
   } else {

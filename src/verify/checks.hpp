@@ -1,4 +1,4 @@
-// The five static checks over a CommPlan (ISSUE 3 tentpole).
+// The static checks over a CommPlan (ISSUE 3 tentpole, deepened by ISSUE 4).
 //
 //   1. count consistency   — per sync counter, the packets the plan delivers
 //                            equal the expected per-round increment, and the
@@ -6,17 +6,28 @@
 //   2. multicast           — trees are acyclic, dimension-ordered, reach
 //                            exactly their declared destination set, and the
 //                            plan fits the 256-patterns-per-node tables.
-//   3. buffer-reuse safety — a concrete dataflow-reachability argument that
+//                            Under declared down links the expansion is
+//                            re-run degraded: lost destinations are repaired
+//                            with rerouted unicast trees where possible and
+//                            flagged as stalls where not.
+//   3. buffer-reuse safety — a happens-before argument over the plan's
+//                            event-granular graph (verify/events.hpp) that
 //                            no writer can touch a receive buffer before the
 //                            counter fire that frees it (SC10 §IV: correct
-//                            reuse without barriers).
+//                            reuse without barriers). Event granularity
+//                            models intra-phase send/wait order, so a
+//                            single-buffered all-reduce variant or a parity
+//                            bug is caught even when phase order looks fine.
 //   4. deadlock freedom    — every unicast route, including degraded-mode
 //                            reroutes around down links, stays
 //                            dimension-ordered; stalls are reported.
 //   5. recovery coverage   — counted-wait sites with no
 //                            RecoverableCountedWrite armed become lints.
+//   6. static deadlock     — a cycle in the happens-before event graph
+//                            (wait-before-send loops and friends) is
+//                            reported with the full cycle in the diagnostic.
 //
-// Structural problems (1-4) are errors; coverage gaps and informational
+// Structural problems (1-4, 6) are errors; coverage gaps and informational
 // reroute audits are lints. verifyPlan never touches a live Machine.
 #pragma once
 
@@ -35,7 +46,8 @@ const char* severityName(Severity s);
 ///   "count", "count.by-source", "count.unwaited", "count.unknown-pattern",
 ///   "multicast.cycle", "multicast.empty-entry", "multicast.dead-entry",
 ///   "multicast.dests", "multicast.pattern-limit", "multicast.conflict",
-///   "multicast.dim-order", "buffer-reuse", "buffer-reuse.bad-phase",
+///   "multicast.dim-order", "multicast.degraded", "multicast.stalled",
+///   "buffer-reuse", "buffer-reuse.bad-phase", "event.deadlock",
 ///   "route.dim-order", "route.stalled", "route.degraded",
 ///   "recovery-coverage".
 struct Violation {
@@ -49,17 +61,10 @@ struct Violation {
   int count = 1;  ///< identical findings coalesced into this record
 };
 
-/// A torus link taken out of service for route tracing (degraded mode).
-struct DownLink {
-  int node = 0;
-  int dim = 0;
-  int sign = +1;
-  friend constexpr bool operator==(const DownLink&, const DownLink&) = default;
-};
-
 struct VerifyOptions {
-  /// Links assumed down while tracing unicast routes (check 4). Empty means
-  /// verify the healthy machine.
+  /// Links assumed down while tracing unicast routes (check 4) and expanding
+  /// multicast trees degraded (check 2). Empty means verify the healthy
+  /// machine. (DownLink itself lives in verify/plan.hpp.)
   std::vector<DownLink> downLinks;
   /// Whether route-order problems (non-dimension-ordered degraded routes,
   /// stalled packets) are errors or informational lints.
@@ -76,6 +81,12 @@ struct VerifyResult {
   int buffersChecked = 0;
   bool sampled = false;  ///< buffer check ran on a sample, not every owner
   int routesTraced = 0;
+  /// Ordered operations the happens-before graph modeled (per round).
+  int eventsModeled = 0;
+  /// Multicast trees that lost destinations under the declared down links
+  /// but could be repaired with rerouted unicast paths / could not.
+  int multicastsRepaired = 0;
+  int multicastsStalled = 0;
 
   bool ok() const { return violations.empty(); }
 };
@@ -93,6 +104,26 @@ struct RouteTrace {
 RouteTrace traceUnicastRoute(int srcNode, int dstNode,
                              const util::TorusShape& shape,
                              const std::vector<DownLink>& downLinks);
+
+/// Outcome of rebuilding a multicast tree around declared down links: every
+/// declared destination is re-covered by the merged degraded unicast routes
+/// from the source (the same first-healthy-dimension policy recovery resends
+/// use). `ok()` means the repaired forwarding tables deliver the full
+/// destination set; `stalledDests` lists destinations no degraded route can
+/// reach at all — the fan-out stalls for the outage, exactly like the live
+/// machine today.
+struct TreeRepair {
+  MulticastPlanEntry repaired;
+  std::vector<net::ClientAddr> lostDests;     ///< lost before repair
+  std::vector<net::ClientAddr> stalledDests;  ///< unreachable even degraded
+  int reroutedDests = 0;           ///< lost destinations re-covered
+  int nonDimOrderedRoutes = 0;     ///< repair paths breaking dimension order
+  bool ok() const { return stalledDests.empty(); }
+};
+
+TreeRepair repairMulticastTree(const MulticastPlanEntry& entry,
+                               const util::TorusShape& shape,
+                               const std::vector<DownLink>& downLinks);
 
 VerifyResult verifyPlan(const CommPlan& plan, const VerifyOptions& opts = {});
 

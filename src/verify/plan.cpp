@@ -30,6 +30,12 @@ void CommPlan::addPhaseEdge(const std::string& from, const std::string& to) {
 
 TreeExpansion expandTree(const MulticastPlanEntry& entry,
                          const util::TorusShape& shape) {
+  return expandTree(entry, shape, {});
+}
+
+TreeExpansion expandTree(const MulticastPlanEntry& entry,
+                         const util::TorusShape& shape,
+                         const std::vector<DownLink>& downLinks) {
   TreeExpansion out;
   std::vector<char> visited(std::size_t(shape.size()), 0);
 
@@ -76,6 +82,13 @@ TreeExpansion expandTree(const MulticastPlanEntry& entry,
       if (!(e.linkMask & (1u << a))) continue;
       int dim = a / 2;
       int sign = a % 2 == 0 ? +1 : -1;
+      if (std::find(downLinks.begin(), downLinks.end(),
+                    DownLink{f.node, dim, sign}) != downLinks.end()) {
+        // The replica cannot leave on a dead link: the whole subtree behind
+        // it is lost (the fan-out has no reroute of its own).
+        out.cutLinks.push_back({f.node, dim, sign});
+        continue;
+      }
       Frame next = f;
       if (dim != f.curDim) {
         if (f.doneDims & (1u << dim)) out.dimOrdered = false;

@@ -49,6 +49,18 @@ struct PlannedWrite {
   int counterId = net::kNoCounter;
   std::uint64_t packets = 1;        ///< packets per round
   bool inOrder = false;
+  /// True for uncounted FIFO traffic (migration records, SC10 §IV-B5): the
+  /// receiver drains it after a separate counted flush write.
+  bool fifo = false;
+  /// Intra-phase program-order position of this send relative to the
+  /// phase's counter waits (CounterExpectation::seq). Within one (node,
+  /// phase), events order by ascending seq; at equal seq, waits and buffer
+  /// frees precede sends. The default of 1 against the waits' default of 0
+  /// encodes the common wait-read-then-send phase shape; phases whose live
+  /// code sends *before* waiting (the dim-ordered all-reduce, the cluster
+  /// exchange rounds, the migration flush) must say so explicitly or the
+  /// event-granular checks will model an ordering the hardware never had.
+  int seq = 1;
 };
 
 /// One counter wait site. Several records may target the same (client,
@@ -66,6 +78,10 @@ struct CounterExpectation {
   /// Whether a RecoverableCountedWrite watchdog is armed on this wait; a
   /// false value is reported as a recovery-coverage lint.
   bool recoveryArmed = false;
+  /// Intra-phase position of the wait (see PlannedWrite::seq): waits default
+  /// to 0 so they precede the phase's sends unless the extractor says
+  /// otherwise.
+  int seq = 0;
 };
 
 /// The per-node table entries of one multicast pattern, as planned. Carries
@@ -119,6 +135,15 @@ struct CommPlan {
   void addPhaseEdge(const std::string& from, const std::string& to);
 };
 
+/// A torus link taken out of service for degraded-mode analysis: route
+/// tracing and multicast tree expansion both honor the same declaration.
+struct DownLink {
+  int node = 0;
+  int dim = 0;
+  int sign = +1;
+  friend constexpr bool operator==(const DownLink&, const DownLink&) = default;
+};
+
 /// Result of statically walking a multicast plan entry from its source.
 struct TreeExpansion {
   std::vector<net::ClientAddr> reached;  ///< delivered destination clients
@@ -130,9 +155,18 @@ struct TreeExpansion {
   std::vector<int> emptyEntryNodes;
   /// Entry-table nodes the walk never reaches (dead table rows).
   std::vector<int> unreachedEntries;
+  /// Tree links the walk could not take because they are declared down;
+  /// the subtree behind each is lost (degraded expansion only).
+  std::vector<DownLink> cutLinks;
 };
 
 TreeExpansion expandTree(const MulticastPlanEntry& entry,
                          const util::TorusShape& shape);
+
+/// Degraded expansion: the walk stops at declared-down links, recording
+/// each cut in `cutLinks`; destinations behind a cut drop out of `reached`.
+TreeExpansion expandTree(const MulticastPlanEntry& entry,
+                         const util::TorusShape& shape,
+                         const std::vector<DownLink>& downLinks);
 
 }  // namespace anton::verify

@@ -1,0 +1,775 @@
+#include "verify/snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace anton::verify {
+namespace {
+
+// ---- emission -------------------------------------------------------------
+
+std::string jsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          const int n = std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                      unsigned(static_cast<unsigned char>(c)));
+          out.append(buf, n > 0 ? std::size_t(n) : 0);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+std::string num(int v) { return std::to_string(v); }
+const char* boolean(bool b) { return b ? "true" : "false"; }
+
+// ---- parsing: a minimal strict-JSON reader ---------------------------------
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool b = false;
+  double n = 0;
+  std::string s;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parseDocument() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("plan snapshot: " + why + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parseValue() {
+    char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        v.type = JsonValue::kString;
+        v.s = parseString();
+        return v;
+      case 't':
+        if (!consumeLiteral("true")) fail("bad literal");
+        v.type = JsonValue::kBool;
+        v.b = true;
+        return v;
+      case 'f':
+        if (!consumeLiteral("false")) fail("bad literal");
+        v.type = JsonValue::kBool;
+        v.b = false;
+        return v;
+      case 'n':
+        if (!consumeLiteral("null")) fail("bad literal");
+        return v;
+      default:
+        return parseNumber();
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parseString();
+      expect(':');
+      v.obj.emplace(std::move(key), parseValue());
+      char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(parseValue());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+              cp |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= unsigned(h - 'A' + 10);
+            else
+              fail("bad \\u escape digit");
+          }
+          // Plan snapshots only ever contain ASCII; decode BMP code points
+          // to UTF-8 so the parser stays a strict-JSON reader regardless.
+          if (cp < 0x80) {
+            out += char(cp);
+          } else if (cp < 0x800) {
+            out += char(0xc0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3f));
+          } else {
+            out += char(0xe0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3f));
+            out += char(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parseNumber() {
+    skipWs();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t before = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) fail("malformed number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("malformed number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digits()) fail("malformed number exponent");
+    }
+    JsonValue v;
+    v.type = JsonValue::kNumber;
+    v.n = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- typed field access ----------------------------------------------------
+
+const JsonValue& field(const JsonValue& obj, const std::string& key) {
+  auto it = obj.obj.find(key);
+  if (it == obj.obj.end())
+    throw std::runtime_error("plan snapshot: missing field '" + key + "'");
+  return it->second;
+}
+
+const JsonValue* optField(const JsonValue& obj, const std::string& key) {
+  auto it = obj.obj.find(key);
+  return it == obj.obj.end() ? nullptr : &it->second;
+}
+
+int asInt(const JsonValue& v, const std::string& what) {
+  if (v.type != JsonValue::kNumber)
+    throw std::runtime_error("plan snapshot: '" + what + "' is not a number");
+  return int(v.n);
+}
+
+std::uint64_t asU64(const JsonValue& v, const std::string& what) {
+  if (v.type != JsonValue::kNumber || v.n < 0)
+    throw std::runtime_error("plan snapshot: '" + what +
+                             "' is not a non-negative number");
+  return std::uint64_t(v.n);
+}
+
+const std::string& asString(const JsonValue& v, const std::string& what) {
+  if (v.type != JsonValue::kString)
+    throw std::runtime_error("plan snapshot: '" + what + "' is not a string");
+  return v.s;
+}
+
+bool asBool(const JsonValue& v, const std::string& what) {
+  if (v.type != JsonValue::kBool)
+    throw std::runtime_error("plan snapshot: '" + what + "' is not a bool");
+  return v.b;
+}
+
+std::string clientLabel(const net::ClientAddr& a) {
+  return "node " + std::to_string(a.node) + "/client " +
+         std::to_string(a.client);
+}
+
+// ---- diff keys --------------------------------------------------------------
+
+std::string writeTarget(const PlannedWrite& w) {
+  if (w.pattern != net::kNoMulticast)
+    return "pattern " + std::to_string(w.pattern);
+  return clientLabel(w.dst);
+}
+
+struct WriteAgg {
+  std::uint64_t packets = 0;
+  int records = 0;
+  int fifo = 0;
+  int inOrder = 0;
+};
+
+struct ExpectAgg {
+  std::uint64_t perRound = 0;
+  int records = 0;
+  int armed = 0;
+};
+
+std::string dests(const std::vector<net::ClientAddr>& v) {
+  std::set<std::pair<int, int>> s;
+  for (const net::ClientAddr& a : v) s.insert({a.node, a.client});
+  std::string out;
+  for (const auto& [n, c] : s) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(n) + "/" + std::to_string(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string planToJson(const CommPlan& plan) {
+  std::ostringstream o;
+  o << "{\n";
+  o << "  \"name\": " << jsonString(plan.name) << ",\n";
+  o << "  \"shape\": [" << plan.shape.nx << ", " << plan.shape.ny << ", "
+    << plan.shape.nz << "],\n";
+
+  o << "  \"phases\": [";
+  for (std::size_t i = 0; i < plan.phases.size(); ++i)
+    o << (i ? ", " : "") << jsonString(plan.phases[i]);
+  o << "],\n";
+
+  o << "  \"phaseEdges\": [";
+  for (std::size_t i = 0; i < plan.phaseEdges.size(); ++i)
+    o << (i ? ", " : "") << "[" << plan.phaseEdges[i].first << ", "
+      << plan.phaseEdges[i].second << "]";
+  o << "],\n";
+
+  o << "  \"writes\": [";
+  for (std::size_t i = 0; i < plan.writes.size(); ++i) {
+    const PlannedWrite& w = plan.writes[i];
+    o << (i ? ",\n    " : "\n    ");
+    o << "{\"phase\": " << jsonString(w.phase) << ", \"srcNode\": "
+      << num(w.srcNode) << ", \"dstNode\": " << num(w.dst.node)
+      << ", \"dstClient\": " << num(w.dst.client) << ", \"pattern\": "
+      << num(w.pattern) << ", \"counterId\": " << num(w.counterId)
+      << ", \"packets\": " << num(w.packets) << ", \"inOrder\": "
+      << boolean(w.inOrder) << ", \"fifo\": " << boolean(w.fifo)
+      << ", \"seq\": " << num(w.seq) << "}";
+  }
+  o << (plan.writes.empty() ? "],\n" : "\n  ],\n");
+
+  o << "  \"expectations\": [";
+  for (std::size_t i = 0; i < plan.expectations.size(); ++i) {
+    const CounterExpectation& e = plan.expectations[i];
+    o << (i ? ",\n    " : "\n    ");
+    o << "{\"site\": " << jsonString(e.site) << ", \"phase\": "
+      << jsonString(e.phase) << ", \"node\": " << num(e.client.node)
+      << ", \"client\": " << num(e.client.client) << ", \"counterId\": "
+      << num(e.counterId) << ", \"perRound\": " << num(e.perRound)
+      << ", \"bySource\": {";
+    bool first = true;
+    for (const auto& [src, n] : e.bySource) {
+      o << (first ? "" : ", ") << jsonString(std::to_string(src)) << ": "
+        << num(n);
+      first = false;
+    }
+    o << "}, \"recoveryArmed\": " << boolean(e.recoveryArmed)
+      << ", \"seq\": " << num(e.seq) << "}";
+  }
+  o << (plan.expectations.empty() ? "],\n" : "\n  ],\n");
+
+  o << "  \"multicasts\": [";
+  for (std::size_t i = 0; i < plan.multicasts.size(); ++i) {
+    const MulticastPlanEntry& m = plan.multicasts[i];
+    o << (i ? ",\n    " : "\n    ");
+    o << "{\"patternId\": " << num(m.patternId) << ", \"srcNode\": "
+      << num(m.srcNode) << ", \"entries\": {";
+    bool first = true;
+    for (const auto& [node, e] : m.entries) {
+      o << (first ? "" : ", ") << jsonString(std::to_string(node))
+        << ": [" << num(int(e.clientMask)) << ", " << num(int(e.linkMask))
+        << "]";
+      first = false;
+    }
+    o << "}, \"declaredDests\": [";
+    for (std::size_t d = 0; d < m.declaredDests.size(); ++d)
+      o << (d ? ", " : "") << "[" << m.declaredDests[d].node << ", "
+        << m.declaredDests[d].client << "]";
+    o << "]}";
+  }
+  o << (plan.multicasts.empty() ? "],\n" : "\n  ],\n");
+
+  o << "  \"buffers\": [";
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    const BufferPlan& b = plan.buffers[i];
+    o << (i ? ",\n    " : "\n    ");
+    o << "{\"name\": " << jsonString(b.name) << ", \"node\": "
+      << num(b.client.node) << ", \"client\": " << num(b.client.client)
+      << ", \"base\": " << num(std::uint64_t(b.base)) << ", \"bytes\": "
+      << num(std::uint64_t(b.bytes)) << ", \"copies\": " << num(b.copies)
+      << ", \"freePhase\": " << jsonString(b.freePhase) << ", \"writers\": [";
+    for (std::size_t w = 0; w < b.writers.size(); ++w)
+      o << (w ? ", " : "") << "[" << b.writers[w].node << ", "
+        << jsonString(b.writers[w].phase) << "]";
+    o << "]}";
+  }
+  o << (plan.buffers.empty() ? "]\n" : "\n  ]\n");
+
+  o << "}\n";
+  return o.str();
+}
+
+CommPlan planFromJson(const std::string& json) {
+  JsonValue root = JsonParser(json).parseDocument();
+  if (root.type != JsonValue::kObject)
+    throw std::runtime_error("plan snapshot: document is not an object");
+
+  CommPlan plan;
+  plan.name = asString(field(root, "name"), "name");
+  const JsonValue& shape = field(root, "shape");
+  if (shape.type != JsonValue::kArray || shape.arr.size() != 3)
+    throw std::runtime_error("plan snapshot: 'shape' is not a 3-array");
+  plan.shape = {asInt(shape.arr[0], "shape.x"), asInt(shape.arr[1], "shape.y"),
+                asInt(shape.arr[2], "shape.z")};
+
+  for (const JsonValue& p : field(root, "phases").arr)
+    plan.phases.push_back(asString(p, "phase"));
+  for (const JsonValue& e : field(root, "phaseEdges").arr) {
+    if (e.type != JsonValue::kArray || e.arr.size() != 2)
+      throw std::runtime_error("plan snapshot: phase edge is not a pair");
+    plan.phaseEdges.emplace_back(asInt(e.arr[0], "edge.from"),
+                                 asInt(e.arr[1], "edge.to"));
+  }
+
+  for (const JsonValue& jw : field(root, "writes").arr) {
+    PlannedWrite w;
+    w.phase = asString(field(jw, "phase"), "write.phase");
+    w.srcNode = asInt(field(jw, "srcNode"), "write.srcNode");
+    w.dst = {asInt(field(jw, "dstNode"), "write.dstNode"),
+             asInt(field(jw, "dstClient"), "write.dstClient")};
+    w.pattern = asInt(field(jw, "pattern"), "write.pattern");
+    w.counterId = asInt(field(jw, "counterId"), "write.counterId");
+    w.packets = asU64(field(jw, "packets"), "write.packets");
+    w.inOrder = asBool(field(jw, "inOrder"), "write.inOrder");
+    if (const JsonValue* f = optField(jw, "fifo"))
+      w.fifo = asBool(*f, "write.fifo");
+    if (const JsonValue* s = optField(jw, "seq"))
+      w.seq = asInt(*s, "write.seq");
+    plan.writes.push_back(std::move(w));
+  }
+
+  for (const JsonValue& je : field(root, "expectations").arr) {
+    CounterExpectation e;
+    e.site = asString(field(je, "site"), "expectation.site");
+    e.phase = asString(field(je, "phase"), "expectation.phase");
+    e.client = {asInt(field(je, "node"), "expectation.node"),
+                asInt(field(je, "client"), "expectation.client")};
+    e.counterId = asInt(field(je, "counterId"), "expectation.counterId");
+    e.perRound = asU64(field(je, "perRound"), "expectation.perRound");
+    for (const auto& [src, n] : field(je, "bySource").obj)
+      e.bySource[std::stoi(src)] = asU64(n, "expectation.bySource");
+    e.recoveryArmed =
+        asBool(field(je, "recoveryArmed"), "expectation.recoveryArmed");
+    if (const JsonValue* s = optField(je, "seq"))
+      e.seq = asInt(*s, "expectation.seq");
+    plan.expectations.push_back(std::move(e));
+  }
+
+  for (const JsonValue& jm : field(root, "multicasts").arr) {
+    MulticastPlanEntry m;
+    m.patternId = asInt(field(jm, "patternId"), "multicast.patternId");
+    m.srcNode = asInt(field(jm, "srcNode"), "multicast.srcNode");
+    for (const auto& [node, row] : field(jm, "entries").obj) {
+      if (row.type != JsonValue::kArray || row.arr.size() != 2)
+        throw std::runtime_error(
+            "plan snapshot: multicast table row is not a mask pair");
+      m.entries[std::stoi(node)] = {
+          std::uint8_t(asInt(row.arr[0], "multicast.clientMask")),
+          std::uint8_t(asInt(row.arr[1], "multicast.linkMask"))};
+    }
+    for (const JsonValue& d : field(jm, "declaredDests").arr) {
+      if (d.type != JsonValue::kArray || d.arr.size() != 2)
+        throw std::runtime_error("plan snapshot: dest is not a pair");
+      m.declaredDests.push_back(
+          {asInt(d.arr[0], "dest.node"), asInt(d.arr[1], "dest.client")});
+    }
+    plan.multicasts.push_back(std::move(m));
+  }
+
+  for (const JsonValue& jb : field(root, "buffers").arr) {
+    BufferPlan b;
+    b.name = asString(field(jb, "name"), "buffer.name");
+    b.client = {asInt(field(jb, "node"), "buffer.node"),
+                asInt(field(jb, "client"), "buffer.client")};
+    b.base = std::uint32_t(asU64(field(jb, "base"), "buffer.base"));
+    b.bytes = std::uint32_t(asU64(field(jb, "bytes"), "buffer.bytes"));
+    b.copies = asInt(field(jb, "copies"), "buffer.copies");
+    b.freePhase = asString(field(jb, "freePhase"), "buffer.freePhase");
+    for (const JsonValue& w : field(jb, "writers").arr) {
+      if (w.type != JsonValue::kArray || w.arr.size() != 2)
+        throw std::runtime_error("plan snapshot: writer is not a pair");
+      b.writers.push_back({asInt(w.arr[0], "writer.node"),
+                           asString(w.arr[1], "writer.phase")});
+    }
+    plan.buffers.push_back(std::move(b));
+  }
+  return plan;
+}
+
+PlanDelta diffPlans(const CommPlan& a, const CommPlan& b) {
+  PlanDelta delta;
+  auto add = [&](std::string category, std::string site, std::string detail) {
+    delta.entries.push_back(
+        {std::move(category), std::move(site), std::move(detail)});
+  };
+
+  if (!(a.shape == b.shape))
+    add("shape", "machine",
+        a.shape.str() + " vs " + b.shape.str());
+
+  // Phases and their DAG, compared as name sets and name-pair sets so two
+  // plans that list the same program in different orders are identical.
+  {
+    std::set<std::string> pa(a.phases.begin(), a.phases.end());
+    std::set<std::string> pb(b.phases.begin(), b.phases.end());
+    for (const std::string& p : pa)
+      if (!pb.count(p)) add("phase", p, "phase only in first plan");
+    for (const std::string& p : pb)
+      if (!pa.count(p)) add("phase", p, "phase only in second plan");
+    auto edgeSet = [](const CommPlan& plan) {
+      std::set<std::string> out;
+      for (const auto& [f, t] : plan.phaseEdges)
+        if (f >= 0 && f < int(plan.phases.size()) && t >= 0 &&
+            t < int(plan.phases.size()))
+          out.insert(plan.phases[std::size_t(f)] + " -> " +
+                     plan.phases[std::size_t(t)]);
+      return out;
+    };
+    std::set<std::string> ea = edgeSet(a), eb = edgeSet(b);
+    for (const std::string& e : ea)
+      if (!eb.count(e)) add("phase", e, "program-order edge only in first plan");
+    for (const std::string& e : eb)
+      if (!ea.count(e)) add("phase", e, "program-order edge only in second plan");
+  }
+
+  // Writes, aggregated per (phase, source, target, counter).
+  {
+    auto aggregate = [](const CommPlan& plan) {
+      std::map<std::string, WriteAgg> out;
+      for (const PlannedWrite& w : plan.writes) {
+        std::string key = w.phase + " | node " + std::to_string(w.srcNode) +
+                          " -> " + writeTarget(w) + " | ctr " +
+                          std::to_string(w.counterId);
+        WriteAgg& agg = out[key];
+        agg.packets += w.packets;
+        agg.records += 1;
+        agg.fifo += w.fifo ? 1 : 0;
+        agg.inOrder += w.inOrder ? 1 : 0;
+      }
+      return out;
+    };
+    std::map<std::string, WriteAgg> wa = aggregate(a), wb = aggregate(b);
+    for (const auto& [key, x] : wa) {
+      auto it = wb.find(key);
+      if (it == wb.end()) {
+        add("write", key,
+            "write group only in first plan (" + std::to_string(x.packets) +
+                " packets/round)");
+        continue;
+      }
+      const WriteAgg& y = it->second;
+      if (x.packets != y.packets)
+        add("write", key,
+            "packets/round " + std::to_string(x.packets) + " vs " +
+                std::to_string(y.packets));
+      else if (x.fifo != y.fifo || x.inOrder != y.inOrder)
+        add("write", key, "delivery flags (fifo/in-order) differ");
+    }
+    for (const auto& [key, y] : wb)
+      if (!wa.count(key))
+        add("write", key,
+            "write group only in second plan (" + std::to_string(y.packets) +
+                " packets/round)");
+  }
+
+  // Expectations per (site, client, counter).
+  {
+    auto aggregate = [](const CommPlan& plan) {
+      std::map<std::string, ExpectAgg> out;
+      for (const CounterExpectation& e : plan.expectations) {
+        std::string key = e.site + " | " + clientLabel(e.client) + " | ctr " +
+                          std::to_string(e.counterId);
+        ExpectAgg& agg = out[key];
+        agg.perRound += e.perRound;
+        agg.records += 1;
+        agg.armed += e.recoveryArmed ? 1 : 0;
+      }
+      return out;
+    };
+    std::map<std::string, ExpectAgg> ea = aggregate(a), eb = aggregate(b);
+    for (const auto& [key, x] : ea) {
+      auto it = eb.find(key);
+      if (it == eb.end()) {
+        add("expectation", key, "wait site only in first plan");
+        continue;
+      }
+      const ExpectAgg& y = it->second;
+      if (x.perRound != y.perRound)
+        add("expectation", key,
+            "expected packets/round " + std::to_string(x.perRound) + " vs " +
+                std::to_string(y.perRound));
+      else if (x.armed != y.armed)
+        add("expectation", key,
+            "recovery arming differs (" + std::to_string(x.armed) + " vs " +
+                std::to_string(y.armed) + " of " + std::to_string(x.records) +
+                " records)");
+    }
+    for (const auto& [key, y] : eb) {
+      (void)y;
+      if (!ea.count(key))
+        add("expectation", key, "wait site only in second plan");
+    }
+  }
+
+  // Multicast trees per (pattern, source): forwarding-table rows and the
+  // declared destination set.
+  {
+    auto index = [](const CommPlan& plan) {
+      std::map<std::string, const MulticastPlanEntry*> out;
+      for (const MulticastPlanEntry& m : plan.multicasts)
+        out["pattern " + std::to_string(m.patternId) + " @ node " +
+            std::to_string(m.srcNode)] = &m;
+      return out;
+    };
+    auto ma = index(a), mb = index(b);
+    for (const auto& [key, x] : ma) {
+      auto it = mb.find(key);
+      if (it == mb.end()) {
+        add("multicast", key, "tree only in first plan");
+        continue;
+      }
+      const MulticastPlanEntry* y = it->second;
+      auto sameTables = [](const MulticastPlanEntry* p,
+                           const MulticastPlanEntry* q) {
+        if (p->entries.size() != q->entries.size()) return false;
+        auto pi = p->entries.begin();
+        for (const auto& [node, row] : q->entries) {
+          if (pi->first != node || pi->second.clientMask != row.clientMask ||
+              pi->second.linkMask != row.linkMask)
+            return false;
+          ++pi;
+        }
+        return true;
+      };
+      if (!sameTables(x, y)) {
+        std::string detail = "forwarding tables differ";
+        for (const auto& [node, row] : x->entries) {
+          auto r = y->entries.find(node);
+          if (r == y->entries.end()) {
+            detail += " (node " + std::to_string(node) +
+                      " row only in first plan)";
+            break;
+          }
+          if (row.clientMask != r->second.clientMask ||
+              row.linkMask != r->second.linkMask) {
+            detail += " (node " + std::to_string(node) + ": clients " +
+                      std::to_string(int(row.clientMask)) + "/" +
+                      std::to_string(int(r->second.clientMask)) + ", links " +
+                      std::to_string(int(row.linkMask)) + "/" +
+                      std::to_string(int(r->second.linkMask)) + ")";
+            break;
+          }
+        }
+        if (x->entries.size() < y->entries.size())
+          detail += " (" + std::to_string(y->entries.size() -
+                                          x->entries.size()) +
+                    " extra row(s) in second plan)";
+        add("multicast", key, detail);
+      }
+      if (dests(x->declaredDests) != dests(y->declaredDests))
+        add("multicast", key,
+            "declared destination sets differ (" +
+                std::to_string(x->declaredDests.size()) + " vs " +
+                std::to_string(y->declaredDests.size()) + " dest(s))");
+    }
+    for (const auto& [key, y] : mb) {
+      (void)y;
+      if (!ma.count(key)) add("multicast", key, "tree only in second plan");
+    }
+  }
+
+  // Buffer lifetimes per (name, owner).
+  {
+    auto index = [](const CommPlan& plan) {
+      std::map<std::string, const BufferPlan*> out;
+      for (const BufferPlan& bp : plan.buffers)
+        out[bp.name + " @ " + clientLabel(bp.client)] = &bp;
+      return out;
+    };
+    auto ba = index(a), bb = index(b);
+    for (const auto& [key, x] : ba) {
+      auto it = bb.find(key);
+      if (it == bb.end()) {
+        add("buffer", key, "buffer only in first plan");
+        continue;
+      }
+      const BufferPlan* y = it->second;
+      if (x->copies != y->copies)
+        add("buffer", key,
+            "copy count (reuse distance) " + std::to_string(x->copies) +
+                " vs " + std::to_string(y->copies));
+      if (x->freePhase != y->freePhase)
+        add("buffer", key,
+            "free phase '" + x->freePhase + "' vs '" + y->freePhase + "'");
+      if (x->base != y->base || x->bytes != y->bytes)
+        add("buffer", key,
+            "placement " + std::to_string(x->base) + "+" +
+                std::to_string(x->bytes) + " vs " + std::to_string(y->base) +
+                "+" + std::to_string(y->bytes));
+      auto writerSet = [](const BufferPlan* bp) {
+        std::set<std::string> out;
+        for (const BufferWriter& w : bp->writers)
+          out.insert(std::to_string(w.node) + ":" + w.phase);
+        return out;
+      };
+      if (writerSet(x) != writerSet(y))
+        add("buffer", key,
+            "writer sets differ (" + std::to_string(x->writers.size()) +
+                " vs " + std::to_string(y->writers.size()) + " writer(s))");
+    }
+    for (const auto& [key, y] : bb) {
+      (void)y;
+      if (!ba.count(key)) add("buffer", key, "buffer only in second plan");
+    }
+  }
+
+  return delta;
+}
+
+}  // namespace anton::verify

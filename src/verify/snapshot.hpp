@@ -1,0 +1,52 @@
+// Plan snapshots and structural diffs.
+//
+// A CommPlan is the reviewable artifact of the paper's static-communication
+// premise: everything a step will put on the wire, decided before a cycle
+// runs. Snapshots serialize that artifact to canonical strict JSON so plans
+// can be committed as golden files, and diffPlans() compares two plans
+// *structurally* — phases and their DAG, per-counter delivery counts,
+// multicast tree edges, buffer lifetimes — so a code change that silently
+// alters the communication shape shows up as a reviewable delta rather than
+// a behavioural surprise (`verify_plans --diff`, and the golden-plan CI
+// job).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/plan.hpp"
+
+namespace anton::verify {
+
+/// Canonical JSON for a plan: fixed key order, records in plan order, one
+/// record per line — deterministic for byte-stable golden files, and still
+/// strict JSON for any parser.
+std::string planToJson(const CommPlan& plan);
+
+/// Parse a snapshot back into a plan. Throws std::runtime_error with a
+/// position-annotated message on malformed JSON or missing fields.
+CommPlan planFromJson(const std::string& json);
+
+/// One structural difference between two plans.
+struct PlanDeltaEntry {
+  std::string category;  ///< "shape", "phase", "write", "expectation",
+                         ///< "multicast", "buffer"
+  std::string site;      ///< the record key the difference is at
+  std::string detail;    ///< human-readable description of the change
+};
+
+struct PlanDelta {
+  std::vector<PlanDeltaEntry> entries;
+  bool identical() const { return entries.empty(); }
+};
+
+/// Structural plan comparison. Writes are aggregated per (phase, source,
+/// target, counter) and compared by total packets; expectations per (site,
+/// client, counter) by per-round increment and recovery arming; multicasts
+/// per (pattern, source) by forwarding-table rows and declared destination
+/// set; buffers per (name, owner) by base, span, copy count, free phase and
+/// writer set. Plan names are not compared — two differently-named plans
+/// with the same structure are identical.
+PlanDelta diffPlans(const CommPlan& a, const CommPlan& b);
+
+}  // namespace anton::verify

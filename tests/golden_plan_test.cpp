@@ -1,0 +1,54 @@
+// Golden communication-plan snapshots.
+//
+// Each file under tests/golden_plans/ is the canonical JSON snapshot of one
+// named shipped plan (tools/plan_registry.hpp). Rebuilding the plan from
+// source and structurally diffing it against the committed file turns any
+// silent change to the communication shape — a packet count, a tree edge, a
+// buffer lifetime — into a reviewable delta. Regenerate intentionally with
+//   ./build/tools/verify_plans --dump-plans tests/golden_plans
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "plan_registry.hpp"
+#include "verify/checks.hpp"
+#include "verify/snapshot.hpp"
+
+namespace anton::verify {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(GoldenPlans, CommittedSnapshotsMatchTheExtractors) {
+  for (const std::string& name : tools::goldenPlanNames()) {
+    SCOPED_TRACE(name);
+    const std::string path =
+        std::string(GOLDEN_PLANS_DIR) + "/" + name + ".json";
+    const std::string json = readFile(path);
+    ASSERT_FALSE(json.empty()) << "missing golden snapshot: " << path;
+
+    const CommPlan golden = planFromJson(json);
+    const CommPlan built = tools::buildNamedPlan(name);
+    const PlanDelta delta = diffPlans(golden, built);
+    for (const PlanDeltaEntry& e : delta.entries)
+      ADD_FAILURE() << e.category << " | " << e.site << " | " << e.detail;
+    EXPECT_TRUE(delta.identical())
+        << "extractors drifted from the committed snapshot; if intentional, "
+           "regenerate with verify_plans --dump-plans tests/golden_plans";
+
+    // The committed bytes are the canonical serialization, and the plan they
+    // describe still passes the verifier.
+    EXPECT_EQ(planToJson(golden), json);
+    EXPECT_TRUE(verifyPlan(built).ok());
+  }
+}
+
+}  // namespace
+}  // namespace anton::verify

@@ -1,0 +1,105 @@
+// Randomized plan-mutation coverage for the static verifier.
+//
+// Take one known-clean extracted plan (the dim-ordered all-reduce on a
+// 2x2x2 torus: it has counted waits, multicast trees, and parity
+// double-buffered receive regions — one instance of everything the checks
+// reason about), apply one seeded single-operation mutation per iteration,
+// and require the verifier to flag every single one. Three mutation kinds
+// mirror the three check families: a counter-expectation count bump, a
+// multicast tree edge removal, and a buffer-free reorder (collapsing the
+// parity copy so the free no longer precedes the next round's write).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/allreduce.hpp"
+#include "net/machine.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "verify/checks.hpp"
+#include "verify/plan.hpp"
+
+namespace anton::verify {
+namespace {
+
+CommPlan cleanAllReducePlan() {
+  sim::Simulator sim;
+  net::Machine machine(sim, {2, 2, 2});
+  core::DimOrderedAllReduce reduce(machine);
+  CommPlan p;
+  p.name = "allreduce-2x2x2";
+  p.shape = machine.shape();
+  reduce.appendPlan(p, "");
+  return p;
+}
+
+/// (multicast index, node) pairs whose table row forwards on at least one
+/// link — the candidates for a tree-edge-removal mutation.
+std::vector<std::pair<std::size_t, int>> forwardingRows(const CommPlan& p) {
+  std::vector<std::pair<std::size_t, int>> rows;
+  for (std::size_t mi = 0; mi < p.multicasts.size(); ++mi)
+    for (const auto& [node, entry] : p.multicasts[mi].entries)
+      if (entry.linkMask != 0) rows.push_back({mi, node});
+  return rows;
+}
+
+TEST(VerifyMutation, EverySeededSingleOpMutationIsFlagged) {
+  const CommPlan base = cleanAllReducePlan();
+  ASSERT_TRUE(verifyPlan(base).ok());
+  const auto rows = forwardingRows(base);
+  ASSERT_FALSE(rows.empty());
+  ASSERT_FALSE(base.expectations.empty());
+  ASSERT_FALSE(base.buffers.empty());
+
+  sim::Rng rng(20100816);  // fixed seed: the run is reproducible
+  constexpr int kIterations = 36;
+  int byKind[3] = {0, 0, 0};
+  for (int i = 0; i < kIterations; ++i) {
+    CommPlan p = base;
+    const int kind = int(rng.below(3));
+    std::string what;
+    switch (kind) {
+      case 0: {  // count bump: one wait site expects extra packets
+        CounterExpectation& e =
+            p.expectations[rng.below(p.expectations.size())];
+        e.perRound += 1 + rng.below(3);
+        what = "count bump at '" + e.site + "'";
+        break;
+      }
+      case 1: {  // tree edge removal: clear one set forwarding-link bit
+        const auto [mi, node] = rows[rng.below(rows.size())];
+        std::uint8_t& mask = p.multicasts[mi].entries[node].linkMask;
+        std::vector<int> bits;
+        for (int b = 0; b < 8; ++b)
+          if (mask & (1u << b)) bits.push_back(b);
+        mask = std::uint8_t(mask & ~(1u << bits[rng.below(bits.size())]));
+        what = "tree edge removed at node " + std::to_string(node) +
+               " of pattern " +
+               std::to_string(p.multicasts[mi].patternId);
+        break;
+      }
+      default: {  // buffer-free reorder: the parity copy disappears, so the
+                  // next round's write is no longer ordered after the free
+        BufferPlan& b = p.buffers[rng.below(p.buffers.size())];
+        b.copies = 1;
+        what = "buffer-free reorder on '" + b.name + "'";
+        break;
+      }
+    }
+    VerifyResult r = verifyPlan(p);
+    EXPECT_FALSE(r.ok())
+        << "seeded mutation " << i << " (" << what << ") was not flagged";
+    ++byKind[kind];
+  }
+  // The fixed seed must exercise all three mutation kinds, or the test is
+  // weaker than it claims.
+  EXPECT_GT(byKind[0], 0);
+  EXPECT_GT(byKind[1], 0);
+  EXPECT_GT(byKind[2], 0);
+}
+
+}  // namespace
+}  // namespace anton::verify

@@ -12,10 +12,12 @@
 
 #include "core/allreduce.hpp"
 #include "md/anton_app.hpp"
+#include "net/latency.hpp"
 #include "net/machine.hpp"
 #include "sim/simulator.hpp"
 #include "verify/checks.hpp"
 #include "verify/plan.hpp"
+#include "verify/snapshot.hpp"
 
 namespace anton::verify {
 namespace {
@@ -517,6 +519,265 @@ TEST(VerifyPlan, CorruptedMdPlanIsCaught) {
     }
   VerifyResult rc = verifyPlan(cut);
   EXPECT_FALSE(rc.ok());
+}
+
+// --- checks 3+6: the event-granular happens-before graph -------------------
+
+TEST(VerifyEvents, SingleBufferedAllReduceIsFlaggedAtEventLevel) {
+  sim::Simulator sim;
+  net::Machine machine(sim, {2, 2, 2});
+  core::DimOrderedAllReduce ar(machine);
+  CommPlan p;
+  p.name = "allreduce";
+  p.shape = machine.shape();
+  ar.appendPlan(p, "");
+  ASSERT_TRUE(verifyPlan(p).ok()) << "parity double buffering is safe";
+
+  // Phase order alone cannot distinguish this variant from the shipped one:
+  // the all-reduce sends *before* waiting inside each dimension phase, so
+  // with a single receive copy the neighbour's round-r+1 partial can land
+  // while round r is still being read. Only the intra-phase event order
+  // exposes the race.
+  for (BufferPlan& b : p.buffers) b.copies = 1;
+  VerifyResult r = verifyPlan(p);
+  EXPECT_FALSE(r.ok());
+  const Violation* v = findCheck(r.violations, "buffer-reuse");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find("no happens-before path"), std::string::npos)
+      << v->detail;
+  EXPECT_NE(v->detail.find("before the copy is free"), std::string::npos)
+      << v->detail;
+  EXPECT_GT(r.eventsModeled, 0);
+}
+
+TEST(VerifyEvents, WaitBeforeSendCycleIsAStaticDeadlock) {
+  // Two nodes exchange one counted packet in the same phase, but each node
+  // posts its wait *before* its send: a textbook head-of-line deadlock the
+  // phase DAG alone can never see.
+  CommPlan p;
+  p.name = "exchange";
+  p.shape = {2, 1, 1};
+  p.addPhase("exchange");
+  for (int n = 0; n < 2; ++n) {
+    PlannedWrite w;
+    w.phase = "exchange";
+    w.srcNode = n;
+    w.dst = {1 - n, kSlice0};
+    w.counterId = 0;
+    w.seq = 1;  // send only after the wait fires
+    p.writes.push_back(w);
+
+    CounterExpectation e;
+    e.site = "exchange.recv";
+    e.phase = "exchange";
+    e.client = {n, kSlice0};
+    e.counterId = 0;
+    e.perRound = 1;
+    e.bySource[1 - n] = 1;
+    e.recoveryArmed = true;
+    e.seq = 0;  // wait precedes the send
+    p.expectations.push_back(std::move(e));
+  }
+  VerifyResult r = verifyPlan(p);
+  const Violation* v = findCheck(r.violations, "event.deadlock");
+  ASSERT_NE(v, nullptr);
+  // The diagnostic carries the whole cycle: both the wait and the send it
+  // depends on, joined hop by hop.
+  EXPECT_NE(v->detail.find(" -> "), std::string::npos) << v->detail;
+  EXPECT_NE(v->detail.find("wait"), std::string::npos) << v->detail;
+  EXPECT_NE(v->detail.find("send"), std::string::npos) << v->detail;
+  EXPECT_NE(v->detail.find("never make progress"), std::string::npos)
+      << v->detail;
+
+  // Send-first (what the live exchange actually does) breaks the cycle.
+  for (PlannedWrite& w : p.writes) w.seq = 0;
+  for (CounterExpectation& e : p.expectations) e.seq = 1;
+  EXPECT_FALSE(hasCheck(verifyPlan(p).violations, "event.deadlock"));
+}
+
+// --- check 2 degraded: multicast tree expansion under down links ------------
+
+TEST(VerifyDegraded, CutMulticastTreeIsRepairedByRerouting) {
+  // A two-hop dimension-ordered tree on a 4x4 sheet: 0 -> +x -> +y -> dest.
+  // Taking node 0's +x link down severs the whole tree, but the degraded
+  // unicast route (+y first, then +x) re-covers the destination.
+  CommPlan p;
+  p.name = "mc";
+  p.shape = {4, 4, 1};
+  p.addPhaseEdge("fanout", "sink");
+  const int hop = util::torusIndex({1, 0, 0}, p.shape);
+  const int dest = util::torusIndex({1, 1, 0}, p.shape);
+
+  MulticastPlanEntry m;
+  m.patternId = 0;
+  m.srcNode = 0;
+  m.entries[0].linkMask = 1u << net::RingLayout::adapterIndex(0, +1);
+  m.entries[hop].linkMask = 1u << net::RingLayout::adapterIndex(1, +1);
+  m.entries[dest].clientMask = 1u << kSlice0;
+  m.declaredDests.push_back({dest, kSlice0});
+  p.multicasts.push_back(m);
+
+  PlannedWrite w;
+  w.phase = "fanout";
+  w.srcNode = 0;
+  w.pattern = 0;
+  w.counterId = 0;
+  p.writes.push_back(w);
+
+  CounterExpectation e;
+  e.site = "mc.recv";
+  e.phase = "sink";
+  e.client = {dest, kSlice0};
+  e.counterId = 0;
+  e.perRound = 1;
+  e.recoveryArmed = true;
+  p.expectations.push_back(std::move(e));
+  ASSERT_TRUE(verifyPlan(p).ok());
+
+  VerifyOptions opts;
+  opts.downLinks.push_back({0, 0, +1});
+  VerifyResult r = verifyPlan(p, opts);
+  EXPECT_TRUE(r.ok()) << "a repairable outage must stay a lint";
+  EXPECT_EQ(r.multicastsRepaired, 1);
+  EXPECT_EQ(r.multicastsStalled, 0);
+  const Violation* v = findCheck(r.lints, "multicast.degraded");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find("repaired by rerouting"), std::string::npos)
+      << v->detail;
+
+  // The repair itself must round-trip: rebuilt tables reach the declared
+  // destination under the same outage.
+  TreeRepair repair = repairMulticastTree(m, p.shape, opts.downLinks);
+  EXPECT_TRUE(repair.ok());
+  EXPECT_EQ(repair.reroutedDests, 1);
+  TreeExpansion degraded =
+      expandTree(repair.repaired, p.shape, opts.downLinks);
+  ASSERT_EQ(degraded.reached.size(), 1u);
+  EXPECT_EQ(degraded.reached[0], (ClientAddr{dest, kSlice0}));
+}
+
+TEST(VerifyDegraded, UnroutableOutageIsReportedAsAStall) {
+  // On a 4x1x1 line there is no second dimension to reroute through: a +x
+  // outage at the source stalls the whole chain, repaired or not.
+  CommPlan p;
+  p.name = "line";
+  p.shape = {4, 1, 1};
+  p.addPhaseEdge("fanout", "sink");
+  MulticastPlanEntry m;
+  m.patternId = 0;
+  m.srcNode = 0;
+  for (int n = 0; n < 3; ++n)
+    m.entries[n].linkMask = 1u << net::RingLayout::adapterIndex(0, +1);
+  for (int n = 1; n < 4; ++n) {
+    m.entries[n].clientMask = std::uint8_t(m.entries[n].clientMask |
+                                           (1u << kSlice0));
+    m.declaredDests.push_back({n, kSlice0});
+    CounterExpectation e;
+    e.site = "line.recv";
+    e.phase = "sink";
+    e.client = {n, kSlice0};
+    e.counterId = 0;
+    e.perRound = 1;
+    e.recoveryArmed = true;
+    p.expectations.push_back(std::move(e));
+  }
+  p.multicasts.push_back(m);
+  PlannedWrite w;
+  w.phase = "fanout";
+  w.srcNode = 0;
+  w.pattern = 0;
+  w.counterId = 0;
+  p.writes.push_back(w);
+  ASSERT_TRUE(verifyPlan(p).ok());
+
+  VerifyOptions opts;
+  opts.downLinks.push_back({0, 0, +1});
+  opts.routeIssuesAreErrors = false;  // audit mode
+  VerifyResult r = verifyPlan(p, opts);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.multicastsStalled, 1);
+  const Violation* v = findCheck(r.lints, "multicast.stalled");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find("stalls"), std::string::npos) << v->detail;
+
+  opts.routeIssuesAreErrors = true;  // and as a hard failure when asked
+  EXPECT_TRUE(hasCheck(verifyPlan(p, opts).violations, "multicast.stalled"));
+}
+
+// --- snapshots and structural diff ------------------------------------------
+
+TEST(PlanSnapshot, RoundTripsThroughCanonicalJson) {
+  CommPlan p = pingPlan();
+  const std::string json = planToJson(p);
+  CommPlan q = planFromJson(json);
+  EXPECT_TRUE(diffPlans(p, q).identical());
+  EXPECT_EQ(planToJson(q), json) << "canonical form must be byte-stable";
+  EXPECT_EQ(q.name, p.name);
+  EXPECT_TRUE(q.shape == p.shape);
+  EXPECT_EQ(q.phases, p.phases);
+  EXPECT_EQ(q.writes.size(), p.writes.size());
+  EXPECT_EQ(q.expectations.size(), p.expectations.size());
+  EXPECT_EQ(q.buffers.size(), p.buffers.size());
+}
+
+TEST(PlanSnapshot, RichPlanWithMulticastsRoundTrips) {
+  sim::Simulator sim;
+  net::Machine machine(sim, {2, 2, 2});
+  core::DimOrderedAllReduce ar(machine);
+  CommPlan p;
+  p.name = "allreduce";
+  p.shape = machine.shape();
+  ar.appendPlan(p, "");
+  ASSERT_FALSE(p.multicasts.empty());
+  CommPlan q = planFromJson(planToJson(p));
+  EXPECT_TRUE(diffPlans(p, q).identical());
+  EXPECT_EQ(planToJson(q), planToJson(p));
+}
+
+TEST(PlanSnapshot, MalformedJsonIsRejectedWithPosition) {
+  EXPECT_THROW(planFromJson("{"), std::runtime_error);
+  EXPECT_THROW(planFromJson("[]"), std::runtime_error);
+  EXPECT_THROW(planFromJson("{\"name\": \"x\"}"), std::runtime_error);
+}
+
+TEST(PlanDiff, NamesDoNotCountButStructureDoes) {
+  CommPlan a = pingPlan();
+  CommPlan b = pingPlan();
+  b.name = "renamed";
+  EXPECT_TRUE(diffPlans(a, b).identical());
+}
+
+TEST(PlanDiff, StructuralDeltasCarryTheirCategory) {
+  const CommPlan base = pingPlan();
+  auto hasCategory = [](const PlanDelta& d, const std::string& cat) {
+    return std::any_of(
+        d.entries.begin(), d.entries.end(),
+        [&](const PlanDeltaEntry& e) { return e.category == cat; });
+  };
+
+  CommPlan m = base;  // one extra planned packet on the ping
+  m.writes[0].packets += 2;
+  PlanDelta d = diffPlans(base, m);
+  ASSERT_FALSE(d.identical());
+  EXPECT_TRUE(hasCategory(d, "write"));
+
+  m = base;  // a wait site expecting a different increment
+  m.expectations[0].perRound += 1;
+  d = diffPlans(base, m);
+  ASSERT_FALSE(d.identical());
+  EXPECT_TRUE(hasCategory(d, "expectation"));
+
+  m = base;  // double-buffering a receive region changes its lifetime
+  m.buffers[0].copies = 2;
+  d = diffPlans(base, m);
+  ASSERT_FALSE(d.identical());
+  EXPECT_TRUE(hasCategory(d, "buffer"));
+
+  m = base;  // a new phase shows up in the program DAG
+  m.addPhaseEdge("ackwait", "drain");
+  d = diffPlans(base, m);
+  ASSERT_FALSE(d.identical());
+  EXPECT_TRUE(hasCategory(d, "phase"));
 }
 
 }  // namespace

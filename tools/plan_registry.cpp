@@ -1,0 +1,194 @@
+#include "plan_registry.hpp"
+
+#include <stdexcept>
+
+#include "cluster/collectives.hpp"
+#include "core/allreduce.hpp"
+#include "fft/distributed.hpp"
+#include "md/anton_app.hpp"
+#include "net/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace anton::tools {
+namespace {
+
+std::string shapeStr(const util::TorusShape& s) {
+  return std::to_string(s.extent(0)) + "x" + std::to_string(s.extent(1)) +
+         "x" + std::to_string(s.extent(2));
+}
+
+md::AntonMdConfig quickstartConfig() {
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.thermostatTau = 0.05;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.recoveryTimeoutUs = 5000;  // arm RecoverableCountedWrite on the waits
+  cfg.recoveryMaxResends = 6;
+  return cfg;
+}
+
+md::AntonMdConfig table3Config() {
+  md::AntonMdConfig cfg = quickstartConfig();
+  cfg.force.cutoff = 2.6;
+  cfg.ewald.grid = 32;
+  cfg.homeBoxMarginFrac = 0.08;  // Table 3 bench configuration
+  cfg.migrationInterval = 100;
+  return cfg;
+}
+
+verify::CommPlan mdPlan(const std::string& name, util::TorusShape shape,
+                        int atoms, md::AntonMdConfig cfg) {
+  sim::Simulator sim;
+  net::Machine machine(sim, shape);
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = atoms;
+  sp.seed = 2010;
+  md::AntonMdApp app(machine, md::buildSyntheticSystem(sp), cfg);
+  verify::CommPlan p = app.extractCommPlan();
+  p.name = name;
+  return p;
+}
+
+verify::CommPlan allReducePlan(util::TorusShape shape) {
+  sim::Simulator sim;
+  net::Machine machine(sim, shape);
+  core::DimOrderedAllReduce reduce(machine);
+  verify::CommPlan p;
+  p.name = "table2-allreduce-" + shapeStr(shape);
+  p.shape = shape;
+  reduce.appendPlan(p, "");
+  return p;
+}
+
+verify::CommPlan clusterPlan(int numNodes) {
+  verify::CommPlan p;
+  p.name = "cluster-allreduce-" + std::to_string(numNodes);
+  cluster::appendAllReducePlan(p, numNodes, "");
+  return p;
+}
+
+/// One forward + inverse FFT pair on a 2x2x2 torus — the smallest plan that
+/// exercises the per-dimension counter reuse across the two passes.
+verify::CommPlan fftPairPlan() {
+  sim::Simulator sim;
+  net::Machine machine(sim, {2, 2, 2});
+  fft::DistributedFft3D fft3d(machine, 8, 8, 8);
+  verify::CommPlan p;
+  p.name = "fft-pair-2x2x2";
+  p.shape = {2, 2, 2};
+  std::string tail = fft3d.appendPlan(p, "", false, 0);
+  fft3d.appendPlan(p, tail, true, 1);
+  return p;
+}
+
+/// Fig. 5 topology: ping-pong between node 0 and corners at increasing hop
+/// distance on the 512-node torus. The pong is what makes the receive slot
+/// reusable without a barrier, so the plan models both directions.
+verify::CommPlan fig5Plan() {
+  verify::CommPlan p;
+  p.name = "fig5-ping";
+  p.shape = {8, 8, 8};
+  p.addPhaseEdge("ping.send", "ping.recv");
+  p.addPhaseEdge("ping.recv", "ping.ack");
+  const util::TorusCoord corners[] = {
+      {1, 0, 0}, {2, 0, 0}, {4, 0, 0}, {4, 4, 0}, {4, 4, 4}};
+  verify::CounterExpectation ack;
+  ack.site = "ping.ack";
+  ack.phase = "ping.ack";
+  ack.client = {0, net::kSlice0};
+  ack.counterId = 1;
+  verify::BufferPlan ackBuf;
+  ackBuf.name = "ping.ackslots";
+  ackBuf.client = {0, net::kSlice0};
+  ackBuf.bytes = std::uint32_t(std::size(corners)) * 32u;
+  ackBuf.freePhase = "ping.ack";
+  for (std::size_t i = 0; i < std::size(corners); ++i) {
+    int dst = util::torusIndex(corners[i], p.shape);
+    verify::PlannedWrite ping;
+    ping.phase = "ping.send";
+    ping.srcNode = 0;
+    ping.dst = {dst, net::kSlice0};
+    ping.counterId = 0;
+    p.writes.push_back(ping);
+
+    verify::CounterExpectation e;
+    e.site = "ping.recv";
+    e.phase = "ping.recv";
+    e.client = {dst, net::kSlice0};
+    e.counterId = 0;
+    e.perRound = 1;
+    e.bySource[0] = 1;
+    e.recoveryArmed = true;  // the fault bench arms the ping write
+    p.expectations.push_back(std::move(e));
+
+    verify::BufferPlan b;
+    b.name = "ping.slot." + std::to_string(dst);
+    b.client = {dst, net::kSlice0};
+    b.bytes = 32;
+    b.freePhase = "ping.recv";
+    b.writers.push_back({0, "ping.send"});
+    p.buffers.push_back(std::move(b));
+
+    verify::PlannedWrite pong;
+    pong.phase = "ping.recv";
+    pong.srcNode = dst;
+    pong.dst = {0, net::kSlice0};
+    pong.counterId = 1;
+    p.writes.push_back(pong);
+    ack.perRound += 1;
+    ack.bySource[dst] = 1;
+    ackBuf.writers.push_back({dst, "ping.recv"});
+  }
+  ack.recoveryArmed = true;
+  p.expectations.push_back(std::move(ack));
+  p.buffers.push_back(std::move(ackBuf));
+  return p;
+}
+
+bool parseShapeSuffix(const std::string& s, util::TorusShape* out) {
+  int v[3] = {0, 0, 0};
+  std::size_t pos = 0;
+  for (int d = 0; d < 3; ++d) {
+    std::size_t next = d < 2 ? s.find('x', pos) : s.size();
+    if (next == std::string::npos || next == pos) return false;
+    for (std::size_t i = pos; i < next; ++i)
+      if (s[i] < '0' || s[i] > '9') return false;
+    v[d] = std::stoi(s.substr(pos, next - pos));
+    if (v[d] < 1) return false;
+    pos = next + 1;
+  }
+  *out = {v[0], v[1], v[2]};
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> goldenPlanNames() {
+  return {"fig5-ping", "table2-allreduce-2x2x2", "cluster-allreduce-16",
+          "fft-pair-2x2x2", "quickstart-md"};
+}
+
+verify::CommPlan buildNamedPlan(const std::string& name) {
+  if (name == "quickstart-md")
+    return mdPlan(name, {4, 4, 4}, 1536, quickstartConfig());
+  if (name == "table3-md-8x8x8")
+    return mdPlan(name, {8, 8, 8}, 23558, table3Config());
+  if (name == "fig5-ping") return fig5Plan();
+  if (name == "fft-pair-2x2x2") return fftPairPlan();
+  const std::string arPrefix = "table2-allreduce-";
+  if (name.rfind(arPrefix, 0) == 0) {
+    util::TorusShape shape;
+    if (parseShapeSuffix(name.substr(arPrefix.size()), &shape))
+      return allReducePlan(shape);
+  }
+  const std::string clPrefix = "cluster-allreduce-";
+  if (name.rfind(clPrefix, 0) == 0) {
+    const std::string n = name.substr(clPrefix.size());
+    if (!n.empty() && n.find_first_not_of("0123456789") == std::string::npos)
+      return clusterPlan(std::stoi(n));
+  }
+  throw std::invalid_argument("unknown plan name: " + name);
+}
+
+}  // namespace anton::tools

@@ -1,0 +1,27 @@
+// Named shipped communication plans.
+//
+// One registry backs both the verify_plans CLI (auditing and `--diff` by
+// plan name) and the golden-plan test (rebuilding each committed snapshot
+// from source and diffing it structurally). Plan construction is
+// deterministic — synthetic systems use fixed seeds — so a named plan only
+// changes when the extractors or the configurations do, which is exactly
+// the delta the golden files are meant to surface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/plan.hpp"
+
+namespace anton::tools {
+
+/// The plans committed as golden snapshots under tests/golden_plans/.
+std::vector<std::string> goldenPlanNames();
+
+/// Build a shipped plan by name. Fixed names: "quickstart-md",
+/// "table3-md-8x8x8", "fig5-ping", "fft-pair-2x2x2".
+/// Parametric: "table2-allreduce-<X>x<Y>x<Z>", "cluster-allreduce-<N>".
+/// Throws std::invalid_argument for anything else.
+verify::CommPlan buildNamedPlan(const std::string& name);
+
+}  // namespace anton::tools
