@@ -3,20 +3,26 @@
 // dimension-ordered all-reduce. Also demonstrates link-outage handling
 // (stall vs. degraded-mode reroute), the counted-write watchdog, and — with
 // a retransmit cap tight enough that links actually fail — the end-to-end
-// erasure-recovery path on full MD steps: every step must complete via
-// resend (zero aborts), and the sweep prices the recovery in us per step.
-// Emits BENCH_fault.json and BENCH_fault_md.json; the zero-BER rows must
-// land exactly on the calibrated fault-free anchors (162 ns ping, Table 2
-// all-reduce, the recovery-free step time).
+// erasure-recovery path on armed collectives (FFT forward+inverse pair,
+// dimension-ordered all-reduce) and on full MD steps: every operation must
+// complete via resend (zero aborts), bit-identically, and the sweep prices
+// the recovery in us. Emits BENCH_fault.json, BENCH_fault_collectives.json
+// and BENCH_fault_md.json; the zero-BER rows must land exactly on the
+// calibrated fault-free anchors (162 ns ping, Table 2 all-reduce, the
+// recovery-free pair/step times).
 #include "bench_common.hpp"
 
 #include <vector>
 
 #include "core/allreduce.hpp"
+#include "core/recovery.hpp"
 #include "core/watchdog.hpp"
 #include "fault/plan.hpp"
 #include "fault/report.hpp"
+#include "fft/distributed.hpp"
+#include "fft/grid3d.hpp"
 #include "md/anton_app.hpp"
+#include "sim/rng.hpp"
 #include "trace/activity.hpp"
 
 using namespace anton;
@@ -91,6 +97,116 @@ double outagePingNs(bool reroute, std::uint64_t& reroutes) {
   return ns;
 }
 
+// The deadline must exceed every natural wait, and the resend budget must
+// absorb the *cascade*: a waiter whose upstream sender is itself recovering
+// times out spuriously (nothing in the registry to replay), and each such
+// round burns budget. Deep collectives at drop-inducing BERs need patience
+// of several deadlines, not several drops.
+core::RecoveryHooks armedHooks(core::DropRegistry& reg,
+                               core::RecoveryStats& stats) {
+  core::RecoveryHooks hooks;
+  hooks.registry = &reg;
+  hooks.config.timeout = sim::us(1000);
+  hooks.config.maxResends = 10;
+  hooks.config.resendBackoff = sim::us(0.5);
+  hooks.stats = &stats;
+  return hooks;
+}
+
+struct CollectiveRow {
+  double ber = 0.0;
+  double fftPairUs = 0.0;
+  double allreduceUs = 0.0;
+  std::uint64_t drops = 0;
+  std::uint64_t resends = 0;
+  std::uint64_t linkFailures = 0;
+  std::uint64_t hardFailures = 0;
+  bool correct = true;
+};
+
+// Armed collectives on a lossy fabric with a retransmit cap of ONE: a
+// forward+inverse FFT pair and the 8x8x8 32-byte all-reduce, both with
+// erasure recovery wired into their counted waits. Any dropped gather,
+// scatter, stage or result-fan-out replica must be diagnosed and replayed —
+// and the results must stay bit-identical to the fault-free run.
+CollectiveRow collectivesSeries(double ber) {
+  CollectiveRow row;
+  row.ber = ber;
+
+  {  // FFT forward+inverse pair, 8^3 on {2,2,2} (the fft-pair plan shape).
+    sim::Simulator sim;
+    net::Machine m(sim, {2, 2, 2});
+    fault::FaultPlan plan({.seed = 0xfff7'c011 + std::uint64_t(ber * 1e9),
+                           .bitErrorRate = ber,
+                           .maxRetransmits = 1});
+    m.setFaultModel(&plan);
+    core::DropRegistry reg(m);
+    core::RecoveryStats stats;
+    fft::DistributedFft3D dist(m, 8, 8, 8, {});
+    dist.setRecovery(armedHooks(reg, stats));
+
+    fft::Grid3D ref(8, 8, 8);
+    sim::Rng rng(29);
+    for (auto& x : ref.data()) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    dist.loadGrid(ref.data());
+    auto task = [](fft::DistributedFft3D& d, int n) -> sim::Task {
+      co_await d.run(n, false);
+      co_await d.run(n, true);
+    };
+    for (int n = 0; n < m.numNodes(); ++n) sim.spawn(task(dist, n));
+    sim.run();
+    row.fftPairUs = sim::toUs(sim.now());
+
+    fft::fft3d(ref, false);
+    fft::fft3d(ref, true);
+    auto got = dist.extractGrid();
+    for (std::size_t i = 0; i < got.size(); ++i)
+      if (got[i] != ref.data()[i]) row.correct = false;
+    row.drops += reg.dropsObserved();
+    row.resends += stats.resends;
+    row.linkFailures += m.stats().linkFailures;
+    row.hardFailures += stats.hardFailures;
+  }
+
+  {  // 8x8x8 dimension-ordered all-reduce, 32-byte operand.
+    sim::Simulator sim;
+    net::Machine m(sim, {8, 8, 8});
+    fault::FaultPlan plan({.seed = 0xa11'4ed1 + std::uint64_t(ber * 1e9),
+                           .bitErrorRate = ber,
+                           .maxRetransmits = 1});
+    m.setFaultModel(&plan);
+    core::DropRegistry reg(m);
+    core::RecoveryStats stats;
+    core::DimOrderedAllReduce red(m);
+    red.setRecovery(armedHooks(reg, stats));
+
+    const int n = m.numNodes();
+    std::vector<std::vector<double>> out;
+    out.resize(std::size_t(n));
+    auto task = [](core::DimOrderedAllReduce& r, int node,
+                   std::vector<double> in, std::vector<double>* o) -> sim::Task {
+      co_await r.run(node, std::move(in), o);
+    };
+    double expect = 0.0;
+    for (int node = 0; node < n; ++node) {
+      std::vector<double> in(4, double(node + 1));  // exact in double
+      expect += in[0];
+      sim.spawn(task(red, node, std::move(in), &out[std::size_t(node)]));
+    }
+    sim.run();
+    row.allreduceUs = sim::toUs(sim.now());
+
+    for (int node = 0; node < n; ++node)
+      for (double v : out[std::size_t(node)])
+        if (v != expect) row.correct = false;
+    row.drops += reg.dropsObserved();
+    row.resends += stats.resends;
+    row.linkFailures += m.stats().linkFailures;
+    row.hardFailures += stats.hardFailures;
+  }
+  return row;
+}
+
 struct MdRow {
   double ber = 0.0;
   int stepsDone = 0;
@@ -129,15 +245,21 @@ MdRow mdRecoverySeries(double ber, int steps) {
   cfg.force.cutoff = 2.2;
   cfg.ewald.grid = 16;
   cfg.homeBoxMarginFrac = 0.10;
-  // Range-limited + bonded steps only: the phases wired through the
-  // recovery path. (Long-range and migration traffic has no resend story
-  // yet — a drop there would still hang; see ROADMAP.)
-  cfg.longRangeInterval = steps + 1;
-  cfg.migrationInterval = steps + 1;
-  // The deadline must exceed every natural wait in a step, or spurious
-  // timeouts fire with nothing to resend and perturb the zero-BER anchor.
-  cfg.recoveryTimeoutUs = 5000.0;
-  cfg.recoveryMaxResends = 6;
+  // The full superstep mix: long-range (spread/FFT/potential) and migration
+  // phases included — every counted wait of the step now has a resend
+  // story, so drops anywhere must still complete the step. (The FIFO
+  // migration *payloads* remain the documented unrecoverable lane; at these
+  // BERs and seeds none of their traversals exhausts the cap.)
+  cfg.longRangeInterval = 2;
+  cfg.migrationInterval = 2;
+  // The deadline must exceed every natural wait in a step (or spurious
+  // timeouts fire with nothing to resend and perturb the zero-BER anchor),
+  // but each drop on the critical path stalls its waiter for one full
+  // deadline — and every node downstream of a stalled sender burns resend
+  // budget on empty rounds. A short deadline with a deep budget keeps the
+  // cascade cheap AND survivable at the top BER.
+  cfg.recoveryTimeoutUs = 1000.0;
+  cfg.recoveryMaxResends = 40;
   cfg.recoveryBackoffUs = 0.5;
   md::AntonMdApp app(m, md::buildSyntheticSystem(sp), cfg);
   app.runSteps(steps);
@@ -250,6 +372,55 @@ int main() {
     if (!report.timedOut || report.arrived != 1) ok = false;
   }
 
+  // Armed collectives: BER sweep with a retransmit cap of 1 — the FFT and
+  // all-reduce phases must complete bit-identically via resend.
+  bench::banner("Collectives under link failure: erasure recovery cost");
+  {
+    const double kCollBers[] = {0.0, 1e-5, 1e-4};
+    util::TablePrinter cTable({"BER", "fft pair (us)", "allreduce (us)",
+                               "drops", "resends", "link fails",
+                               "hard fails"});
+    util::CsvWriter cCsv("fault_collectives_sweep.csv");
+    cCsv.row("ber", "fft_pair_us", "allreduce_us", "drops", "resends",
+             "link_failures", "hard_failures");
+    bench::JsonReporter cJson("fault_collectives");
+
+    double baseFftUs = 0.0, baseRedUs = 0.0;
+    for (double ber : kCollBers) {
+      CollectiveRow row = collectivesSeries(ber);
+      if (ber == 0.0) {
+        baseFftUs = row.fftPairUs;
+        baseRedUs = row.allreduceUs;
+      }
+      std::ostringstream b;
+      b << ber;
+      cTable.addRow({b.str(), util::TablePrinter::num(row.fftPairUs, 2),
+                     util::TablePrinter::num(row.allreduceUs, 2),
+                     std::to_string(row.drops), std::to_string(row.resends),
+                     std::to_string(row.linkFailures),
+                     std::to_string(row.hardFailures)});
+      cCsv.row(ber, row.fftPairUs, row.allreduceUs, row.drops, row.resends,
+               row.linkFailures, row.hardFailures);
+      // As in the MD sweep, the fault-free time is the reference: a lossy
+      // row's deviation is the recovery (timeout + replay) cost at that BER.
+      cJson.record("fft_pair_us_ber" + b.str(), baseFftUs, row.fftPairUs,
+                   "us");
+      cJson.record("allreduce_armed_us_ber" + b.str(), baseRedUs,
+                   row.allreduceUs, "us");
+
+      // Recovery must never abort, and never change a single bit of the
+      // results. Drops at the top BER prove the cap actually exhausts.
+      if (!row.correct || row.hardFailures != 0) ok = false;
+      if (ber == 0.0 && (row.drops != 0 || row.resends != 0)) ok = false;
+      if (ber == kCollBers[2] &&
+          (row.drops == 0 || row.resends == 0 || row.linkFailures == 0))
+        ok = false;
+    }
+    cTable.print(std::cout);
+    std::cout << "(retransmit cap 1; armed FFT + all-reduce, bit-identical "
+                 "results at every BER)\n";
+  }
+
   // MD-step erasure recovery: BER/outage sweep with a retransmit cap of 1.
   bench::banner("MD steps under link failure: erasure recovery cost");
   {
@@ -297,8 +468,10 @@ int main() {
                  "watchdog-driven resend)\n";
   }
 
-  std::cout << "\nseries written to fault_sweep.csv, fault_md_sweep.csv, "
-               "BENCH_fault.json and BENCH_fault_md.json\n";
+  std::cout << "\nseries written to fault_sweep.csv, "
+               "fault_collectives_sweep.csv, fault_md_sweep.csv, "
+               "BENCH_fault.json, BENCH_fault_collectives.json and "
+               "BENCH_fault_md.json\n";
   if (!ok) std::cout << "FAULT SWEEP SANITY CHECK FAILED\n";
   return ok ? 0 : 1;
 }

@@ -19,7 +19,8 @@ sim::Task allReduce(ClusterMachine& m, int node, std::vector<double> in,
     int partner = node ^ (1 << r);
     auto payload = std::make_shared<const std::vector<double>>(cur);
     co_await m.send(node, partner, tagBase + r, bytes, payload);
-    ClusterMachine::Message msg = co_await m.recv(node, partner, tagBase + r);
+    ClusterMachine::Message msg = co_await m.recv(
+        node, partner, tagBase + r, sim::us(cfg.recvTimeoutUs));
     if (msg.data) {
       const std::vector<double>& theirs = *msg.data;
       bool mineFirst = ((node >> r) & 1) == 0;
@@ -59,7 +60,9 @@ std::string appendAllReducePlan(verify::CommPlan& plan, int numNodes,
       e.counterId = tagBase + r;
       e.perRound = 1;
       e.bySource[partner] = 1;
-      e.recoveryArmed = true;  // reliable transport, not a raw counted write
+      // Reliable transport (MPI semantics), and the recv carries an optional
+      // deadline (CollectiveConfig::recvTimeoutUs) that fails loudly on loss.
+      e.recoveryArmed = true;
       e.seq = 1;
       plan.expectations.push_back(std::move(e));
     }

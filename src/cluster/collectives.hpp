@@ -22,6 +22,12 @@ struct CollectiveConfig {
   /// 512-node 32-byte all-reduce lands near the 35.5 us the paper measured
   /// on its DDR2 InfiniBand cluster (§IV-B4).
   double perRoundOverheadUs = 1.6;
+  /// Per-recv deadline (microseconds); 0 disables. Armed, a lost partner
+  /// message fails loudly with a diagnostic naming (node, partner, tag)
+  /// instead of hanging the collective forever — the cluster-side analogue
+  /// of the counted-write watchdog. Disabled, no event is scheduled and
+  /// timing is bit-identical.
+  double recvTimeoutUs = 0.0;
 };
 
 /// Recursive-doubling all-reduce (requires power-of-two node count).

@@ -40,7 +40,29 @@ void ClusterMachine::deliver(Message msg) {
 void ClusterMachine::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
   NodeState& node = m.nodes_[std::size_t(dst)];
   node.waiters.push_back({src, tag, this, h});
+  if (timeout > 0) {
+    // Deadline for the match. Cancelled (discarded without advancing time)
+    // when a message matches first, so a met deadline never shows up in the
+    // timeline; see Watchdog::CounterWinCancelsTheDeadline for the idiom.
+    deadline = m.sim_.afterCancellable(timeout, [this, h] {
+      NodeState& nd = m.nodes_[std::size_t(dst)];
+      std::erase_if(nd.waiters,
+                    [this](const Waiter& w) { return w.awaiter == this; });
+      timedOut = true;
+      h.resume();
+    });
+  }
   m.tryMatch(node);
+}
+
+ClusterMachine::Message ClusterMachine::RecvAwaiter::await_resume() {
+  if (timedOut)
+    throw std::runtime_error(
+        "cluster recv timed out: node " + std::to_string(dst) +
+        " waiting on (src " +
+        (src == kAnySource ? std::string("any") : std::to_string(src)) +
+        ", tag " + std::to_string(tag) + ") — message lost or sender dead");
+  return std::move(result);
 }
 
 void ClusterMachine::tryMatch(NodeState& node) {
@@ -53,6 +75,7 @@ void ClusterMachine::tryMatch(NodeState& node) {
     }
     w->awaiter->result = std::move(*msg);
     node.arrived.erase(msg);
+    sim::Simulator::cancel(w->awaiter->deadline);  // the match won the race
     // Receiver software completes the match after o_r.
     sim_.resumeAfter(sim::us(params_.recvOverheadUs), w->handle);
     w = node.waiters.erase(w);

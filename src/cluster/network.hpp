@@ -59,7 +59,12 @@ class ClusterMachine {
                  std::shared_ptr<const std::vector<double>> data = nullptr);
 
   /// Awaitable receive: matches (src, tag) FIFO; resumes o_r after the
-  /// message has arrived. src = kAnySource matches any sender.
+  /// message has arrived. src = kAnySource matches any sender. A nonzero
+  /// `timeout` arms a cancellable deadline: if no matching message lands in
+  /// time the waiter is retracted and await_resume throws a diagnostic
+  /// naming (dst, src, tag) — a lost message becomes a loud failure instead
+  /// of a silent hang. With timeout 0 (default) no event is scheduled and
+  /// timing is bit-identical to the deadline-free receive.
   static constexpr int kAnySource = -1;
   struct RecvAwaiter {
     ClusterMachine& m;
@@ -67,12 +72,15 @@ class ClusterMachine {
     int src;
     int tag;
     Message result;
+    sim::Time timeout = 0;
+    bool timedOut = false;
+    sim::Simulator::EventHandle deadline;
     bool await_ready() noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h);
-    Message await_resume() noexcept { return std::move(result); }
+    Message await_resume();
   };
-  RecvAwaiter recv(int dst, int src, int tag) {
-    return RecvAwaiter{*this, dst, src, tag, {}};
+  RecvAwaiter recv(int dst, int src, int tag, sim::Time timeout = 0) {
+    return RecvAwaiter{*this, dst, src, tag, {}, timeout, false, {}};
   }
 
   std::uint64_t messagesSent() const { return messagesSent_; }

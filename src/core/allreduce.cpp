@@ -111,6 +111,7 @@ std::string DimOrderedAllReduce::appendPlan(verify::CommPlan& plan,
       e.counterId = cfg_.counterId;
       e.perRound = std::uint64_t(n - 1);
       e.seq = 1;  // the wait follows the send (see above)
+      e.recoveryArmed = recovery_.armed();
 
       verify::BufferPlan b;
       b.name = phase + ".slots";
@@ -204,7 +205,21 @@ sim::Task DimOrderedAllReduce::run(int nodeIdx, std::vector<double> in,
 
     std::uint64_t target =
         ++rounds_[std::size_t(nodeIdx)][std::size_t(dim)] * std::uint64_t(n - 1);
-    co_await slice.waitCounter(cfg_.counterId, target);
+    {
+      // One broadcast replica per line peer per round, cumulative. The map
+      // must outlive the await (awaitCounted takes it by reference).
+      std::map<int, std::uint64_t> bySource;
+      if (recovery_.armed()) {
+        const std::uint64_t r = rounds_[std::size_t(nodeIdx)][std::size_t(dim)];
+        for (int k = 0; k < n; ++k) {
+          if (k == pos) continue;
+          util::TorusCoord jc = coord;
+          jc[dim] = k;
+          bySource[util::torusIndex(jc, shape)] = r;
+        }
+      }
+      co_await awaitCounted(slice, cfg_.counterId, target, bySource, recovery_);
+    }
 
     // Redundant ordered sum across line positions: identical on every node.
     if (words != 0) {

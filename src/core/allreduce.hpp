@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "core/recovery.hpp"
 #include "net/machine.hpp"
 #include "sim/task.hpp"
 #include "verify/plan.hpp"
@@ -48,6 +49,14 @@ class DimOrderedAllReduce {
 
   const AllReduceConfig& config() const { return cfg_; }
 
+  /// Arm end-to-end erasure recovery on each dimension's line-broadcast
+  /// wait (both the reduction stages and the final dimension's fan-out of
+  /// the result): armed waits diagnose dropped replicas per source and
+  /// replay them from the hooks' DropRegistry. Disarmed (default) the waits
+  /// are plain counter polls — bit-identical timing.
+  void setRecovery(const RecoveryHooks& hooks) { recovery_ = hooks; }
+  bool recoveryArmed() const { return recovery_.armed(); }
+
   /// Append this all-reduce's static communication plan (one phase per
   /// participating dimension, chained after `afterPhase`) to `plan`:
   /// per-line broadcast writes, counter expectations, the line multicast
@@ -66,6 +75,7 @@ class DimOrderedAllReduce {
   /// Per node, per dimension: completed line-broadcast rounds (drives the
   /// cumulative counter thresholds and the double-buffer parity).
   std::vector<std::array<std::uint64_t, 3>> rounds_;
+  RecoveryHooks recovery_;
 };
 
 /// Radix-2 butterfly all-reduce (recursive doubling per dimension): the

@@ -174,6 +174,7 @@ std::string DistributedFft3D::appendPlan(verify::CommPlan& plan,
       ge.counterId = gatherCtr;
       ge.perRound = myOwned * std::uint64_t(p.ringSize) * pps;
       ge.seq = 0;
+      ge.recoveryArmed = recovery_.armed();
 
       verify::CounterExpectation se;
       se.site = pXform;  // the scatter writes are issued from xform
@@ -181,6 +182,7 @@ std::string DistributedFft3D::appendPlan(verify::CommPlan& plan,
       se.client = {n, cfg_.fftSlice};
       se.counterId = scatterCtr;
       se.perRound = std::uint64_t(p.linesPerBlock) * pps;
+      se.recoveryArmed = recovery_.armed();
 
       verify::BufferPlan gb;
       gb.name = pGather;
@@ -287,7 +289,22 @@ sim::Task DistributedFft3D::run(int nodeIdx, bool inverse) {
     const std::uint64_t gatherExpected =
         std::uint64_t(myOwned) * std::uint64_t(p.ringSize) *
         std::uint64_t(p.packetsPerSegment);
-    co_await slice.waitCounter(gatherCtr, round * gatherExpected);
+    {
+      // Every ring peer (self included) owes my-owned-lines segments; the
+      // map must outlive the await (awaitCounted takes it by reference).
+      std::map<int, std::uint64_t> gatherBySource;
+      if (recovery_.armed() && myOwned != 0) {
+        for (int o = 0; o < p.ringSize; ++o) {
+          util::TorusCoord oc = coord;
+          oc[d] = o;
+          gatherBySource[util::torusIndex(oc, shape)] =
+              round * std::uint64_t(myOwned) *
+              std::uint64_t(p.packetsPerSegment);
+        }
+      }
+      co_await core::awaitCounted(slice, gatherCtr, round * gatherExpected,
+                                  gatherBySource, recovery_);
+    }
 
     // --- compute: 1D FFTs on my owned lines ------------------------------
     std::vector<std::vector<Complex>> lines(static_cast<std::size_t>(myOwned));
@@ -328,7 +345,24 @@ sim::Task DistributedFft3D::run(int nodeIdx, bool inverse) {
 
     const std::uint64_t scatterExpected =
         std::uint64_t(p.linesPerBlock) * std::uint64_t(p.packetsPerSegment);
-    co_await slice.waitCounter(scatterCtr, round * scatterExpected);
+    {
+      // Each owning ring peer returns its owned lines' segments to me.
+      std::map<int, std::uint64_t> scatterBySource;
+      if (recovery_.armed()) {
+        for (int o = 0; o < p.ringSize; ++o) {
+          const std::uint64_t owned = std::uint64_t(
+              p.linesPerBlock / p.ringSize +
+              (o < p.linesPerBlock % p.ringSize ? 1 : 0));
+          if (owned == 0) continue;
+          util::TorusCoord oc = coord;
+          oc[d] = o;
+          scatterBySource[util::torusIndex(oc, shape)] =
+              round * owned * std::uint64_t(p.packetsPerSegment);
+        }
+      }
+      co_await core::awaitCounted(slice, scatterCtr, round * scatterExpected,
+                                  scatterBySource, recovery_);
+    }
 
     // --- unpack the scatter region into the home block -------------------
     for (int lid = 0; lid < p.linesPerBlock; ++lid) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/recovery.hpp"
 #include "fft/fft1d.hpp"
 #include "net/machine.hpp"
 #include "sim/task.hpp"
@@ -71,6 +72,13 @@ class DistributedFft3D {
   /// inverse) transform.
   sim::Task run(int nodeIdx, bool inverse);
 
+  /// Arm end-to-end erasure recovery on the per-dimension gather and scatter
+  /// waits: armed waits diagnose dropped packets per source and replay them
+  /// from the hooks' DropRegistry instead of hanging. Disarmed (the default)
+  /// the waits are plain counter polls — bit-identical timing.
+  void setRecovery(const core::RecoveryHooks& hooks) { recovery_ = hooks; }
+  bool recoveryArmed() const { return recovery_.armed(); }
+
   /// Messages a node sends per full transform (for bench reporting).
   std::uint64_t packetsPerNodePerTransform(int nodeIdx) const;
 
@@ -112,6 +120,7 @@ class DistributedFft3D {
   std::array<DimPlan, 3> plan_;
   std::vector<std::vector<Complex>> home_;
   std::vector<std::array<std::uint64_t, 3>> rounds_;
+  core::RecoveryHooks recovery_;
 };
 
 }  // namespace anton::fft

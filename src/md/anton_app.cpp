@@ -98,8 +98,20 @@ AntonMdApp::AntonMdApp(net::Machine& machine, MDSystem system, AntonMdConfig cfg
           "spline halos)");
   }
 
-  if (cfg_.recoveryTimeoutUs > 0.0)
+  if (cfg_.recoveryTimeoutUs > 0.0) {
     dropRegistry_ = std::make_unique<core::DropRegistry>(machine_);
+    // One shared arming handle for every counted wait of the superstep:
+    // the MD phases (via awaitRecoverable), the FFT gather/scatter waits
+    // and the all-reduce line-broadcast waits all diagnose and replay
+    // drops from the same registry into the same stats.
+    recoveryHooks_.registry = dropRegistry_.get();
+    recoveryHooks_.config.timeout = sim::us(cfg_.recoveryTimeoutUs);
+    recoveryHooks_.config.maxResends = cfg_.recoveryMaxResends;
+    recoveryHooks_.config.resendBackoff = sim::us(cfg_.recoveryBackoffUs);
+    recoveryHooks_.stats = &recoveryStats_;
+    fft_->setRecovery(recoveryHooks_);
+    allReduce_->setRecovery(recoveryHooks_);
+  }
 
   computeInitialForces();
 }
@@ -113,26 +125,10 @@ sim::Task AntonMdApp::awaitRecoverable(
   // non-trivial by-value parameter can alias the caller's argument, double-
   // freeing the map nodes when both are destroyed. Callers pass a named map
   // that outlives the co_await (it is consumed before the first suspension
-  // anyway).
-  if (!dropRegistry_) {
-    // Recovery disabled: a plain counter wait, schedule-identical to the
-    // pre-recovery app.
-    co_await client.waitCounter(counterId, target);
-    co_return;
-  }
-  core::RecoveryConfig rc;
-  rc.timeout = sim::us(cfg_.recoveryTimeoutUs);
-  rc.maxResends = cfg_.recoveryMaxResends;
-  rc.resendBackoff = sim::us(cfg_.recoveryBackoffUs);
-  core::RecoverableCountedWrite rcw(client, counterId, rc);
-  for (const auto& [src, packets] : expected) rcw.expectFrom(src, packets);
-  co_await rcw.await(target, [this](const core::WatchdogReport& r) {
-    return core::resendFromRegistry(machine_, *dropRegistry_, r);
-  });
-  recoveryStats_.timeouts += rcw.stats().timeouts;
-  recoveryStats_.rounds += rcw.stats().rounds;
-  recoveryStats_.resends += rcw.stats().resends;
-  recoveryStats_.hardFailures += rcw.stats().hardFailures;
+  // anyway). With recovery disabled the hooks are disarmed and this is a
+  // plain counter wait, schedule-identical to the pre-recovery app.
+  co_await core::awaitCounted(client, counterId, target, expected,
+                              recoveryHooks_);
 }
 
 // --- geometry ---------------------------------------------------------------
@@ -207,19 +203,29 @@ void AntonMdApp::buildImportGroups() {
       for (int dy = -1; dy <= 1; ++dy)
         for (int dz = -1; dz <= 1; ++dz) {
           if (dx == 0 && dy == 0 && dz == 0) continue;
+          // On an extent-1 dimension every offset wraps back onto the same
+          // coordinate: reduce it to 0 before classifying. Classifying the
+          // RAW offset breaks antisymmetry on such tori — e.g. on 4x4x1
+          // every (dx, dy, +1) is "upper" from BOTH endpoints, leaving the
+          // lower shells empty and the import counts wrong.
+          const int rx = shape_.nx == 1 ? 0 : dx;
+          const int ry = shape_.ny == 1 ? 0 : dy;
+          const int rz = shape_.nz == 1 ? 0 : dz;
+          if (rx == 0 && ry == 0 && rz == 0) continue;  // wraps onto self
           util::TorusCoord t{util::wrap(c.x + dx, shape_.nx),
                              util::wrap(c.y + dy, shape_.ny),
                              util::wrap(c.z + dz, shape_.nz)};
           int idx = util::torusIndex(t, shape_);
           if (idx == i) continue;
-          if (lexPositive(dx, dy, dz)) {
+          if (lexPositive(rx, ry, rz)) {
             up.insert(idx);
           } else {
             down.insert(idx);
           }
         }
-    // In tiny tori an offset pair can wrap onto the same node from both
-    // sides; keep each neighbor in exactly one shell (upper wins).
+    // Reduced offsets are antisymmetric and reach distinct nodes (extent 2
+    // is rejected in the constructor), so the shells cannot overlap; the
+    // guard stays as a cheap invariant against future shape changes.
     for (int d : down) {
       if (!up.contains(d)) lowerShell_[std::size_t(i)].push_back(d);
     }
@@ -776,7 +782,21 @@ sim::Task AntonMdApp::longRangePhase(int node) {
   // The counter lives on the accumulation memory; polling it from the slice
   // crosses the on-chip ring (higher poll latency, SC10 §III-B).
   ns.gridRounds += 1;
-  co_await gridMem.waitCounter(cfg_.ctrGrid, gridExpected_ * ns.gridRounds);
+  {
+    // Every neighborhood peer (and this node itself) owes one fixed dense
+    // block per long-range round, so the per-source breakdown is uniform;
+    // armed, a timed-out wait names the short sender and replays its
+    // dropped chunks from the registry.
+    std::map<int, std::uint64_t> gridBySource;
+    if (dropRegistry_) {
+      const std::uint64_t gridPacketsPerBlock =
+          (blockBytes + chunk - 1) / chunk;
+      for (int t : targets)
+        gridBySource[t] = ns.gridRounds * gridPacketsPerBlock;
+    }
+    co_await awaitRecoverable(gridMem, cfg_.ctrGrid,
+                              gridExpected_ * ns.gridRounds, gridBySource);
+  }
 
   std::vector<fft::Complex>& homeBlk = fft_->home(node);
   for (std::size_t i = 0; i < blockPts; ++i) {
@@ -826,9 +846,19 @@ sim::Task AntonMdApp::longRangePhase(int node) {
 
   const std::uint64_t potPacketsPerBlock = (potBlockBytes + chunk - 1) / chunk;
   ns.potRounds += 1;
-  co_await slice1.waitCounter(
-      cfg_.ctrPot,
-      ns.potRounds * std::uint64_t(targets.size()) * potPacketsPerBlock);
+  {
+    // Same symmetric neighborhood as the grid wait: each peer multicasts
+    // its potential block at a fixed packet count per round.
+    std::map<int, std::uint64_t> potBySource;
+    if (dropRegistry_) {
+      for (int t : targets)
+        potBySource[t] = ns.potRounds * potPacketsPerBlock;
+    }
+    co_await awaitRecoverable(
+        slice1, cfg_.ctrPot,
+        ns.potRounds * std::uint64_t(targets.size()) * potPacketsPerBlock,
+        potBySource);
+  }
 
   // --- force interpolation -------------------------------------------------
   // Read phi at arbitrary stencil points from the assembled halo regions.
@@ -933,7 +963,22 @@ sim::Task AntonMdApp::migrationPhase(int node) {
   // neighbors' flushes and drain the FIFO.
   co_await migrationSync_->signalAndCharge(node);
   ns.flushRounds += 1;
-  co_await migrationSync_->wait(node, ns.flushRounds);
+  {
+    // The flush counter lives on slice 0 (migrationSync_'s target client);
+    // armed, a dropped flush packet is diagnosed and replayed instead of
+    // hanging every neighbor's drain. The FIFO records the flush fences
+    // remain uncounted — a dropped migration payload is the one lane
+    // recovery cannot cover (see DESIGN.md §7).
+    std::map<int, std::uint64_t> flushBySource;
+    if (dropRegistry_) {
+      for (int nb : migrationSync_->neighbors(node))
+        flushBySource[nb] = ns.flushRounds;
+    }
+    co_await awaitRecoverable(
+        slice0, migrationSync_->counterId(),
+        ns.flushRounds * migrationSync_->expectedPerRound(node),
+        flushBySource);
+  }
 
   int received = 0;
   while (net::PacketPtr p = slice0.pollFifo()) {
@@ -1280,7 +1325,7 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
       e.counterId = cfg_.ctrGrid;
       e.perRound = std::uint64_t(targets.size()) * gridPackets;
       for (int t : targets) e.bySource[t] = gridPackets;
-      e.recoveryArmed = false;  // plain waitCounter in longRangePhase
+      e.recoveryArmed = armed;
       plan.expectations.push_back(std::move(e));
 
       verify::BufferPlan b;  // parity-double-buffered charge-grid block
@@ -1309,7 +1354,7 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
       e.counterId = cfg_.ctrPot;
       e.perRound = std::uint64_t(targets.size()) * potPackets;
       for (int t : targets) e.bySource[t] = potPackets;
-      e.recoveryArmed = false;
+      e.recoveryArmed = armed;
       plan.expectations.push_back(std::move(e));
 
       verify::BufferPlan b;  // parity-double-buffered potential halo
@@ -1385,7 +1430,9 @@ verify::CommPlan AntonMdApp::extractCommPlan() const {
       e.counterId = migrationSync_->counterId();
       e.perRound = migrationSync_->expectedPerRound(n);
       for (int nb : migrationSync_->neighbors(n)) e.bySource[nb] = 1;
-      e.recoveryArmed = false;  // FIFO flush: plain counter wait
+      // The flush *counter* wait is armed; the md.fifo payload records it
+      // fences stay uncounted and unrecoverable.
+      e.recoveryArmed = armed;
       e.seq = 1;
       plan.expectations.push_back(std::move(e));
     }

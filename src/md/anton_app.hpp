@@ -166,7 +166,9 @@ class AntonMdApp {
   /// all-reduce, and the migration flush — with every counter expectation,
   /// multicast table, and receive-buffer reuse schedule. Waits are marked
   /// recovery-armed exactly where the live app arms a
-  /// RecoverableCountedWrite (position/bond/force when recovery is on).
+  /// RecoverableCountedWrite (every counted wait — position/bond/force,
+  /// grid/potential, FFT, all-reduce, and the migration flush — when
+  /// recovery is on; FIFO migration payloads remain the unrecoverable lane).
   verify::CommPlan extractCommPlan() const;
 
   /// Number of atoms migrated during the last migration phase.
@@ -284,6 +286,10 @@ class AntonMdApp {
 
   std::unique_ptr<core::DropRegistry> dropRegistry_;  ///< recovery only
   core::RecoveryStats recoveryStats_;
+  /// Shared arming handle (registry + config + stats) passed to the FFT and
+  /// all-reduce subsystems and used by awaitRecoverable. Disarmed (null
+  /// registry) when recovery is off.
+  core::RecoveryHooks recoveryHooks_;
   /// Current home node of every atom gid, refreshed host-side before each
   /// step (recovery only: bonded receivers diagnose senders by home node).
   std::vector<int> homeOfGid_;

@@ -110,6 +110,7 @@ PacketPtr NetworkClient::post(const SendArgs& args) {
   p->counterId = args.counterId;
   p->address = args.address;
   p->inOrder = args.inOrder;
+  p->degradedRoute = args.degradedRoute;
   p->payload = args.payload;
   machine_.inject(p);
   return p;

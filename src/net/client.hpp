@@ -138,6 +138,7 @@ class NetworkClient {
     int counterId = kNoCounter;
     std::uint32_t address = 0;
     bool inOrder = false;
+    bool degradedRoute = false;  ///< replay: route around marked-failed links
     std::shared_ptr<const std::vector<std::byte>> payload;
   };
 

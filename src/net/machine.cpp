@@ -26,6 +26,7 @@ Machine::Machine(sim::Simulator& sim, util::TorusShape shape, MachineConfig cfg)
                                             cfg.countersPerClient));
   }
   links_.resize(std::size_t(shape.size()) * 6);
+  failedLinks_.assign(std::size_t(shape.size()) * 6, 0);
 }
 
 void Machine::setTrace(trace::ActivityTrace* t) {
@@ -114,7 +115,10 @@ void Machine::routeFrom(const PacketPtr& p, int nodeIdx, int entryRouter,
   // Unicast: dimension-ordered shortest-path routing. In degraded mode the
   // first dimension whose outgoing link is healthy wins; if every remaining
   // dimension's link is down the packet takes the preferred one and stalls
-  // at its adapter until the outage window closes.
+  // at its adapter until the outage window closes. Recovery replays
+  // (degradedRoute) additionally avoid links that already dropped a packet
+  // at cap exhaustion (sticky failed marks) — re-entering the link that ate
+  // the original copy would likely lose the replay too.
   util::TorusCoord here = util::torusCoordOf(nodeIdx, shape_);
   util::TorusCoord dest = util::torusCoordOf(p->dst.node, shape_);
   int prefDim = -1, prefSign = 0;
@@ -127,9 +131,10 @@ void Machine::routeFrom(const PacketPtr& p, int nodeIdx, int entryRouter,
       prefDim = dim;
       prefSign = sign;
     }
-    if (faultReroute_ && fault_ != nullptr &&
+    if ((faultReroute_ || p->degradedRoute) && fault_ != nullptr &&
         fault_->linkDown(nodeIdx, dim, sign, t))
       continue;
+    if (p->degradedRoute && linkMarkedFailed(nodeIdx, dim, sign)) continue;
     useDim = dim;
     useSign = sign;
     break;
@@ -208,7 +213,9 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
     // arrived corrupt, so the hardware drops this replica. The wire time was
     // spent (busy window, traversal, byte accounting above) but nothing is
     // scheduled beyond the link — loss is now a software-visible condition.
+    // The link keeps a sticky failed mark so recovery replays route around it.
     ++stats_.linkFailures;
+    failedLinks_[std::size_t(nodeIdx) * 6 + std::size_t(adapterIdx)] = 1;
     if (dropHandler_) {
       util::TorusCoord nc =
           torusNeighbor(util::torusCoordOf(nodeIdx, shape_), dim, sign, shape_);

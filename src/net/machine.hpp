@@ -116,6 +116,21 @@ class Machine {
   void setFaultReroute(bool on) { faultReroute_ = on; }
   bool faultReroute() const { return faultReroute_; }
 
+  /// Whether the outgoing link of `nodeIdx` in (dim, sign) has dropped a
+  /// packet at retransmit-cap exhaustion. The mark is sticky: recovery
+  /// replays (Packet::degradedRoute) route around marked links instead of
+  /// re-entering the one that ate the original copy. Stays all-false on a
+  /// fault-free run.
+  bool linkMarkedFailed(int nodeIdx, int dim, int sign) const {
+    return failedLinks_[std::size_t(nodeIdx) * 6 +
+                        std::size_t(RingLayout::adapterIndex(dim, sign))] != 0;
+  }
+
+  /// Clear every sticky failed-link mark (e.g. after a repaired outage).
+  void clearFailedLinkMarks() {
+    failedLinks_.assign(failedLinks_.size(), 0);
+  }
+
   /// Observer of link-failed packet drops: called once per dropped replica
   /// with the packet and the set of destination clients the replica would
   /// still have reached (for multicast, the subtree beyond the failed link).
@@ -166,6 +181,9 @@ class Machine {
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Link> links_;
+  /// Sticky per-link failed marks (node * 6 + adapter), set when a traversal
+  /// exhausts the retransmit cap and drops its packet.
+  std::vector<char> failedLinks_;
   MachineStats stats_;
   std::uint64_t saltSeq_ = 0;
   trace::ActivityTrace* trace_ = nullptr;

@@ -62,6 +62,11 @@ struct Packet {
   int counterId = kNoCounter;  ///< destination sync counter to increment
   std::uint32_t address = 0;   ///< destination local-memory byte offset
   bool inOrder = false;        ///< force deterministic (ordered) routing
+  /// Recovery replays set this: routing avoids links marked failed (and
+  /// outage-down links) instead of re-entering the link that ate the
+  /// original copy. Never set on first-transmission traffic, so the
+  /// zero-fault path is untouched.
+  bool degradedRoute = false;
   std::shared_ptr<const std::vector<std::byte>> payload;  ///< may be null (0 B)
 
   // --- bookkeeping filled in by the machine ---

@@ -114,6 +114,47 @@ TEST(Cluster, PayloadDataTravels) {
   EXPECT_DOUBLE_EQ(got, 2.5);
 }
 
+TEST(Cluster, RecvDeadlineFailsLoudlyOnLostMessage) {
+  // The cluster-side analogue of the counted-write watchdog: a recv with a
+  // deadline whose message never arrives must throw a diagnostic instead of
+  // parking the waiter forever.
+  Fixture f(2);
+  auto receiver = [](Fixture& fx) -> Task {
+    co_await fx.machine.recv(1, 0, 7, sim::us(50));  // nothing is ever sent
+  };
+  f.sim.spawn(receiver(f));
+  try {
+    f.sim.run();
+    FAIL() << "expected recv timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cluster recv timed out"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("tag 7"), std::string::npos);
+  }
+}
+
+TEST(Cluster, RecvDeadlineIsTimingInvisibleWhenTheMessageArrives) {
+  // A met deadline must be cancelled without advancing time: the run with a
+  // deadline armed ends at exactly the same simulated instant as without.
+  double withDeadline = -1, without = -1;
+  for (double* out : {&without, &withDeadline}) {
+    Fixture f(2);
+    sim::Time timeout = out == &withDeadline ? sim::us(1000) : 0;
+    auto receiver = [](Fixture& fx, sim::Time to, double& o) -> Task {
+      co_await fx.machine.recv(1, 0, 3, to);
+      o = toUs(fx.sim.now());
+    };
+    auto sender = [](Fixture& fx) -> Task {
+      co_await fx.machine.send(0, 1, 3, 32);
+    };
+    f.sim.spawn(receiver(f, timeout, *out));
+    f.sim.spawn(sender(f));
+    f.sim.run();
+    EXPECT_LT(toUs(f.sim.now()), 100.0) << "deadline stretched the run";
+  }
+  EXPECT_EQ(withDeadline, without);
+}
+
 TEST(Collectives, AllReduceSums) {
   Fixture f(16);
   std::vector<std::vector<double>> results(16);

@@ -9,9 +9,14 @@
 
 #include <vector>
 
+#include "core/allreduce.hpp"
 #include "core/recovery.hpp"
 #include "core/watchdog.hpp"
+#include "fft/distributed.hpp"
+#include "fft/grid3d.hpp"
+#include "md/anton_app.hpp"
 #include "net/machine.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace anton {
@@ -59,6 +64,75 @@ struct DropEverything final : net::FaultModel {
   bool linkDown(int, int, int, sim::Time) const override { return false; }
   sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
 };
+
+/// Drops the traversal indices in `dropAt`, counting only traversals on
+/// dimension `dim`. Collectives use disjoint dimensions per phase (the FFT's
+/// dim-d pass and the all-reduce's dim-d line broadcasts ride only dim-d
+/// links), so this targets one phase of a live collective precisely.
+struct DropOnDim final : net::FaultModel {
+  int dim;
+  std::vector<int> dropAt;
+  int seen = 0;
+  DropOnDim(int d, std::vector<int> idx) : dim(d), dropAt(std::move(idx)) {}
+  net::LinkFaultOutcome onLinkTraversal(int, int d, int, std::size_t,
+                                        sim::Time) override {
+    net::LinkFaultOutcome out;
+    if (d == dim) {
+      for (int i : dropAt)
+        if (i == seen) out.linkFailed = true;
+      ++seen;
+    }
+    return out;
+  }
+  bool linkDown(int, int, int, sim::Time) const override { return false; }
+  sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+};
+
+/// Drops the first traversal whose wire size matches `wireBytes` — e.g. the
+/// migration-flush packets are the only header-only (32-byte-wire) traffic
+/// in an MD superstep.
+struct DropFirstOfWireSize final : net::FaultModel {
+  std::size_t wireBytes;
+  bool dropped = false;
+  explicit DropFirstOfWireSize(std::size_t wb) : wireBytes(wb) {}
+  net::LinkFaultOutcome onLinkTraversal(int, int, int, std::size_t wb,
+                                        sim::Time) override {
+    net::LinkFaultOutcome out;
+    if (!dropped && wb == wireBytes) {
+      out.linkFailed = true;
+      dropped = true;
+    }
+    return out;
+  }
+  bool linkDown(int, int, int, sim::Time) const override { return false; }
+  sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+};
+
+/// One permanently dead outgoing link: every traversal attempt on it is
+/// dropped; everything else is clean.
+struct DeadLink final : net::FaultModel {
+  int node, dim, sign;
+  DeadLink(int n, int d, int s) : node(n), dim(d), sign(s) {}
+  net::LinkFaultOutcome onLinkTraversal(int n, int d, int s, std::size_t,
+                                        sim::Time) override {
+    net::LinkFaultOutcome out;
+    out.linkFailed = n == node && d == dim && s == sign;
+    return out;
+  }
+  bool linkDown(int, int, int, sim::Time) const override { return false; }
+  sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+};
+
+core::RecoveryHooks testHooks(core::DropRegistry& reg,
+                              core::RecoveryStats& stats) {
+  core::RecoveryHooks hooks;
+  hooks.registry = &reg;
+  hooks.config.timeout = sim::us(100);
+  hooks.config.maxResends = 6;
+  hooks.config.resendBackoff = sim::us(5);
+  hooks.stats = &stats;
+  return hooks;
+}
 
 // --- watchdog race cancellation -------------------------------------------
 
@@ -311,6 +385,182 @@ TEST(Recovery, ExhaustedResendBudgetHardFailsWithReport) {
   EXPECT_EQ(rcw.stats().hardFailures, 1u);
   EXPECT_EQ(rcw.stats().timeouts, 3u);  // initial attempt + 2 resend rounds
   EXPECT_GE(f.machine.stats().linkFailures, 3u);  // original + both resends
+}
+
+// --- satellite: replays must route around a link already marked failed -----
+
+TEST(Recovery, ReplayRoutesAroundALinkMarkedFailed) {
+  // The +x link out of node 0 is permanently dead. The original unicast
+  // 0 -> (1,1,0) prefers x-then-y, dies on that link, and marks it failed.
+  // The replay rides with degradedRoute set, so routing must detour (y
+  // first, then x out of a healthy node) instead of feeding the replay to
+  // the same dead link — which would burn the whole resend budget and
+  // hard-fail a recoverable situation.
+  Fixture f;
+  core::DropRegistry reg(f.machine);
+  DeadLink fm(0, 0, +1);
+  f.machine.setFaultModel(&fm);
+
+  ClientAddr dst{f.nodeAt(1, 1, 0), kSlice0};
+  NetworkClient& dstClient = f.machine.client(dst);
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(2);
+  rc.maxResends = 2;
+  rc.resendBackoff = sim::us(1);
+  core::RecoverableCountedWrite rcw(dstClient, 0, rc);
+  rcw.expectFrom(0, 1);
+  bool done = false;
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(1, [&](const core::WatchdogReport& r) {
+      return core::resendFromRegistry(f.machine, reg, r);
+    });
+    done = true;
+  };
+  f.sim.spawn(waiter());
+  std::uint64_t value = 0xbeef;
+  NetworkClient::SendArgs args;
+  args.dst = dst;
+  args.counterId = 0;
+  args.inOrder = true;
+  args.payload = net::makePayload(&value, sizeof value);
+  f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dstClient.counterValue(0), 1u);
+  EXPECT_EQ(dstClient.read<std::uint64_t>(0), 0xbeefu);
+  EXPECT_EQ(rcw.stats().resends, 1u) << "one replay must suffice";
+  EXPECT_EQ(rcw.stats().hardFailures, 0u);
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u)
+      << "the replay must never touch the marked link";
+  EXPECT_GE(f.machine.stats().faultReroutes, 1u)
+      << "the replay was not rerouted";
+}
+
+// --- per-phase drops: FFT, all-reduce stages, all-reduce fan-out, flush ----
+
+TEST(Recovery, FftGatherDropIsResentAndStaysBitIdentical) {
+  // First x-link traversal of the forward FFT = a gather packet of the
+  // dim-0 pass. Armed, the owner's gather wait times out, replays the lost
+  // line segment, and the transform still matches the host FFT bitwise.
+  Fixture f({2, 2, 2});
+  core::DropRegistry reg(f.machine);
+  core::RecoveryStats stats;
+  fft::DistributedFft3D dist(f.machine, 8, 8, 8, {});
+  dist.setRecovery(testHooks(reg, stats));
+  DropOnDim fm(0, {0});
+  f.machine.setFaultModel(&fm);
+
+  fft::Grid3D ref(8, 8, 8);
+  sim::Rng rng(17);
+  for (auto& x : ref.data()) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  dist.loadGrid(ref.data());
+  auto task = [](fft::DistributedFft3D& d, int n) -> Task {
+    co_await d.run(n, false);
+  };
+  for (int n = 0; n < f.machine.numNodes(); ++n) f.sim.spawn(task(dist, n));
+  f.sim.run();
+  fft::fft3d(ref, false);
+
+  auto got = dist.extractGrid();
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], ref.data()[i]) << "point " << i;
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u);
+  EXPECT_EQ(reg.dropsObserved(), 1u);
+  EXPECT_GE(stats.resends, 1u);
+  EXPECT_EQ(stats.hardFailures, 0u);
+}
+
+void runAllReduceWithDrop(int dropDim, const char* what) {
+  // On a {4,1,4} torus the dim-ordered all-reduce has exactly two phases:
+  // the x line broadcasts (a reduction stage) ride only dim-0 links, the z
+  // line broadcasts (the final stage, whose arrival fans the result out to
+  // every node) only dim-2 links — dropDim selects which one loses a
+  // replica.
+  Fixture f({4, 1, 4});
+  core::DropRegistry reg(f.machine);
+  core::RecoveryStats stats;
+  core::DimOrderedAllReduce reduce(f.machine);
+  reduce.setRecovery(testHooks(reg, stats));
+  DropOnDim fm(dropDim, {0});
+  f.machine.setFaultModel(&fm);
+
+  const int n = f.machine.numNodes();
+  std::vector<std::vector<double>> out;
+  out.resize(std::size_t(n));
+  auto task = [](core::DimOrderedAllReduce& r, int node,
+                 std::vector<double> in, std::vector<double>* o) -> Task {
+    co_await r.run(node, std::move(in), o);
+  };
+  double expect = 0.0;
+  for (int node = 0; node < n; ++node) {
+    std::vector<double> in{double(node + 1)};  // exact in double arithmetic
+    expect += in[0];
+    f.sim.spawn(task(reduce, node, std::move(in), &out[std::size_t(node)]));
+  }
+  f.sim.run();
+
+  for (int node = 0; node < n; ++node) {
+    ASSERT_EQ(out[std::size_t(node)].size(), 1u) << what << " node " << node;
+    EXPECT_EQ(out[std::size_t(node)][0], expect) << what << " node " << node;
+  }
+  EXPECT_EQ(f.machine.stats().linkFailures, 1u) << what;
+  EXPECT_GE(stats.resends, 1u) << what;
+  EXPECT_EQ(stats.hardFailures, 0u) << what;
+}
+
+TEST(Recovery, AllReduceStageDropIsResentAndCompletes) {
+  runAllReduceWithDrop(0, "reduction-stage drop");
+}
+
+TEST(Recovery, AllReduceResultFanoutDropIsResentAndCompletes) {
+  runAllReduceWithDrop(2, "result-fanout drop");
+}
+
+TEST(Recovery, MigrationFlushDropIsResentAndCompletes) {
+  // The flush packets are the only header-only (32-byte-wire) traffic in a
+  // superstep, so dropping the first such traversal hits exactly one
+  // migration-flush replica. Armed, the shorted neighbor's flush wait
+  // replays it; the trajectory must match a fault-free run bit for bit
+  // (recovery re-delivers the identical payload-free signal).
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = 1536;
+  sp.temperature = 0.8;
+  sp.seed = 11;
+  md::MDSystem sys = md::buildSyntheticSystem(sp);
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.thermostatTau = 0.0;
+  cfg.longRangeInterval = 3;  // keep the 2-step run short-range only
+  cfg.migrationInterval = 1;  // migrate (and flush) every step
+  cfg.recoveryTimeoutUs = 5000.0;
+
+  auto run = [&](bool faulted) {
+    sim::Simulator sim;
+    Machine machine(sim, {4, 4, 4});
+    DropFirstOfWireSize fm(32);
+    if (faulted) machine.setFaultModel(&fm);
+    md::AntonMdApp app(machine, sys, cfg);
+    app.runSteps(2);
+    if (faulted) {
+      EXPECT_EQ(machine.stats().linkFailures, 1u);
+      EXPECT_EQ(app.dropsObserved(), 1u);
+      EXPECT_GE(app.recoveryStats().resends, 1u);
+      EXPECT_EQ(app.recoveryStats().hardFailures, 0u);
+    }
+    return app.gatherSystem();
+  };
+  md::MDSystem clean = run(false);
+  md::MDSystem recovered = run(true);
+  ASSERT_EQ(clean.positions.size(), recovered.positions.size());
+  for (std::size_t i = 0; i < clean.positions.size(); ++i) {
+    EXPECT_EQ(clean.positions[i].x, recovered.positions[i].x) << "atom " << i;
+    EXPECT_EQ(clean.positions[i].y, recovered.positions[i].y) << "atom " << i;
+    EXPECT_EQ(clean.positions[i].z, recovered.positions[i].z) << "atom " << i;
+  }
 }
 
 }  // namespace

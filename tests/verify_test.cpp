@@ -467,22 +467,13 @@ TEST(VerifyPlan, ExtractedMdPlanVerifiesCleanly) {
                               ? std::string()
                               : r.violations.front().check + ": " +
                                     r.violations.front().detail);
-  // Recovery is armed on position/bond/force, but the grid spread, the
-  // potential return and the migration flush still use plain waits — the
-  // lint documents exactly that gap.
-  const Violation* grid = findCheck(r.lints, "recovery-coverage");
-  ASSERT_NE(grid, nullptr);
-  std::vector<std::string> gapSites;
-  for (const Violation& v : r.lints)
-    if (v.check == "recovery-coverage") gapSites.push_back(v.site);
-  EXPECT_NE(std::find(gapSites.begin(), gapSites.end(), "md.grid"),
-            gapSites.end());
-  for (const std::string& armed :
-       {std::string("md.htis.pos"), std::string("md.bonded.pos"),
-        std::string("md.forces")})
-    EXPECT_EQ(std::find(gapSites.begin(), gapSites.end(), armed),
-              gapSites.end())
-        << armed << " is recovery-armed and must not be linted";
+  // With recovery on, every counted wait of the superstep is armed —
+  // position/bond/force, the grid spread, the potential halo, the FFT
+  // passes, the all-reduce and the migration flush. The recovery-coverage
+  // lint (now gating in verify_plans) must find nothing.
+  const Violation* gap = findCheck(r.lints, "recovery-coverage");
+  EXPECT_EQ(gap, nullptr)
+      << (gap ? gap->site + ": " + gap->detail : std::string());
 }
 
 // Each corruption of the extracted MD plan must be caught — the end-to-end

@@ -4,6 +4,7 @@
 
 #include "cluster/collectives.hpp"
 #include "core/allreduce.hpp"
+#include "core/recovery.hpp"
 #include "fft/distributed.hpp"
 #include "md/anton_app.hpp"
 #include "net/machine.hpp"
@@ -50,10 +51,22 @@ verify::CommPlan mdPlan(const std::string& name, util::TorusShape shape,
   return p;
 }
 
+/// Shipped standalone subsystems are armed the way the MD app arms them
+/// (DropRegistry + recovery hooks), so their extracted waits carry a
+/// recovery story and pass the verifier's gating recovery-coverage check.
+core::RecoveryHooks shippedRecoveryHooks(core::DropRegistry& registry) {
+  core::RecoveryHooks hooks;
+  hooks.registry = &registry;
+  hooks.config.timeout = sim::us(5000);
+  return hooks;
+}
+
 verify::CommPlan allReducePlan(util::TorusShape shape) {
   sim::Simulator sim;
   net::Machine machine(sim, shape);
+  core::DropRegistry registry(machine);
   core::DimOrderedAllReduce reduce(machine);
+  reduce.setRecovery(shippedRecoveryHooks(registry));
   verify::CommPlan p;
   p.name = "table2-allreduce-" + shapeStr(shape);
   p.shape = shape;
@@ -73,7 +86,9 @@ verify::CommPlan clusterPlan(int numNodes) {
 verify::CommPlan fftPairPlan() {
   sim::Simulator sim;
   net::Machine machine(sim, {2, 2, 2});
+  core::DropRegistry registry(machine);
   fft::DistributedFft3D fft3d(machine, 8, 8, 8);
+  fft3d.setRecovery(shippedRecoveryHooks(registry));
   verify::CommPlan p;
   p.name = "fft-pair-2x2x2";
   p.shape = {2, 2, 2};
@@ -166,12 +181,17 @@ bool parseShapeSuffix(const std::string& s, util::TorusShape* out) {
 
 std::vector<std::string> goldenPlanNames() {
   return {"fig5-ping", "table2-allreduce-2x2x2", "cluster-allreduce-16",
-          "fft-pair-2x2x2", "quickstart-md"};
+          "fft-pair-2x2x2", "quickstart-md", "md-4x4x1"};
 }
 
 verify::CommPlan buildNamedPlan(const std::string& name) {
   if (name == "quickstart-md")
     return mdPlan(name, {4, 4, 4}, 1536, quickstartConfig());
+  if (name == "md-4x4x1")
+    // Degenerate torus with a traffic-carrying extent-1 dimension: the shape
+    // that used to break the half-shell import accounting (ISSUE 5
+    // satellite). Golden so the reduced-offset dedup stays pinned.
+    return mdPlan(name, {4, 4, 1}, 1536, quickstartConfig());
   if (name == "table3-md-8x8x8")
     return mdPlan(name, {8, 8, 8}, 23558, table3Config());
   if (name == "fig5-ping") return fig5Plan();

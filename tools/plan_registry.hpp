@@ -18,7 +18,7 @@ namespace anton::tools {
 /// The plans committed as golden snapshots under tests/golden_plans/.
 std::vector<std::string> goldenPlanNames();
 
-/// Build a shipped plan by name. Fixed names: "quickstart-md",
+/// Build a shipped plan by name. Fixed names: "quickstart-md", "md-4x4x1",
 /// "table3-md-8x8x8", "fig5-ping", "fft-pair-2x2x2".
 /// Parametric: "table2-allreduce-<X>x<Y>x<Z>", "cluster-allreduce-<N>".
 /// Throws std::invalid_argument for anything else.

@@ -17,8 +17,10 @@
 //   {"kind":"selftest", ...}   each seeded known-bad plan (must fire)
 //   {"kind":"summary", ...}    totals; "ok" decides the exit code
 //
-// Exit status: 0 when every shipped plan is violation-free and every seeded
-// bad plan produced its expected violation; 1 otherwise.
+// Exit status: 0 when every shipped plan is violation-free AND free of
+// recovery-coverage lints (every counted wait must have a recovery story,
+// ISSUE 5), and every seeded bad plan produced its expected finding; 1
+// otherwise. Other lints stay advisory.
 //
 // Modes and flags:
 //   --fast              skip the 512-node Table 3 extraction
@@ -65,6 +67,7 @@ struct Totals {
   int plans = 0;
   int violations = 0;
   int lints = 0;
+  int recoveryLints = 0;  ///< recovery-coverage lints gate like violations
   int selftests = 0;
   int selftestFailures = 0;
 };
@@ -96,6 +99,10 @@ verify::VerifyResult runPlan(Emitter& em, Totals& t,
   ++t.plans;
   t.violations += int(r.violations.size());
   t.lints += int(r.lints.size());
+  // Every shipped counted wait now has a recovery story (ISSUE 5), so an
+  // unarmed wait is a regression, not advice: it gates the exit code.
+  for (const verify::Violation& v : r.lints)
+    if (v.check == "recovery-coverage") ++t.recoveryLints;
   std::ostringstream os;
   os << "{\"kind\":\"plan\",\"plan\":" << JsonReporter::quoted(plan.name)
      << ",\"shape\":" << JsonReporter::quoted(shapeStr(plan.shape))
@@ -288,6 +295,30 @@ std::vector<SelfTest> selfTests() {
     tests.push_back(std::move(t));
   }
   {
+    SelfTest t;  // a counted wait with no recovery armed: a dropped packet
+                 // would hang the phase forever (gating lint since ISSUE 5)
+    t.name = "bad-recovery-unarmed";
+    t.expect = "recovery-coverage";
+    t.plan.name = t.name;
+    t.plan.shape = {2, 1, 1};
+    t.plan.addPhaseEdge("send", "recv");
+    verify::PlannedWrite w;
+    w.phase = "send";
+    w.srcNode = 0;
+    w.dst = {1, net::kSlice0};
+    w.counterId = 0;
+    t.plan.writes.push_back(w);
+    verify::CounterExpectation e;
+    e.site = "recv";
+    e.phase = "recv";
+    e.client = {1, net::kSlice0};
+    e.counterId = 0;
+    e.perRound = 1;
+    e.recoveryArmed = false;
+    t.plan.expectations.push_back(e);
+    tests.push_back(std::move(t));
+  }
+  {
     SelfTest t;  // a down +x link severs a pure-x line fan-out: no reroute
     t.name = "bad-multicast-stalled";
     t.expect = "multicast.stalled";
@@ -316,6 +347,8 @@ void runSelfTests(Emitter& em, Totals& t) {
     verify::VerifyResult r = verify::verifyPlan(st.plan, st.opts);
     bool fired = false;
     for (const verify::Violation& v : r.violations)
+      if (v.check == st.expect) fired = true;
+    for (const verify::Violation& v : r.lints)  // gating lint selftests
       if (v.check == st.expect) fired = true;
     ++t.selftests;
     if (!fired) ++t.selftestFailures;
@@ -444,23 +477,29 @@ int main(int argc, char** argv) {
         opts.routeIssuesAreErrors = false;
         runPlan(em, t, p, opts);
       }
+      // Degenerate torus with a traffic-carrying extent-1 dimension: pins
+      // the reduced-offset half-shell dedup (ISSUE 5 satellite).
+      runPlan(em, t, tools::buildNamedPlan("md-4x4x1"));
       runPlan(em, t, tools::buildNamedPlan("fft-pair-2x2x2"));
       runPlan(em, t, tools::buildNamedPlan("cluster-allreduce-512"));
       if (!fast) runPlan(em, t, tools::buildNamedPlan("table3-md-8x8x8"));
     }
     runSelfTests(em, t);
 
-    bool ok = t.violations == 0 && t.selftestFailures == 0;
+    bool ok = t.violations == 0 && t.recoveryLints == 0 &&
+              t.selftestFailures == 0;
     std::ostringstream os;
     os << "{\"kind\":\"summary\",\"plans\":" << t.plans
        << ",\"violations\":" << t.violations << ",\"lints\":" << t.lints
+       << ",\"recoveryLints\":" << t.recoveryLints
        << ",\"selftests\":" << t.selftests
        << ",\"selftestFailures\":" << t.selftestFailures
        << ",\"ok\":" << (ok ? "true" : "false") << "}";
     em.line(os.str());
     std::cerr << (ok ? "verify_plans: OK" : "verify_plans: FAILED") << " ("
               << t.plans << " plans, " << t.violations << " violations, "
-              << t.lints << " lints, " << t.selftestFailures << "/"
+              << t.lints << " lints of which " << t.recoveryLints
+              << " recovery-coverage (gating), " << t.selftestFailures << "/"
               << t.selftests << " selftest failures)\n";
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
