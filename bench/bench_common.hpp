@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/machine.hpp"
+#include "net/probe.hpp"
 #include "sim/simulator.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -105,56 +106,11 @@ struct PingResult {
   double oneWayNs = 0.0;
 };
 
-/// One-way counted-remote-write latency between two processing slices:
-/// source posts at t0, receiver polls its sync counter; the successful poll
-/// time is the software-to-software latency (SC10 §III-D methodology).
-inline double oneWayLatencyNs(net::Machine& m, net::ClientAddr src,
-                              net::ClientAddr dst, std::size_t payloadBytes,
-                              bool inOrder = false) {
-  double done = -1.0;
-  auto receiver = [](net::Machine& mm, net::ClientAddr d, double& out)
-      -> sim::Task {
-    net::NetworkClient& c = mm.client(d);
-    co_await c.waitCounter(0, c.counterValue(0) + 1);
-    out = sim::toNs(mm.sim().now());
-  };
-  m.sim().spawn(receiver(m, dst, done));
-  double start = sim::toNs(m.sim().now());
-  net::NetworkClient::SendArgs args;
-  args.dst = dst;
-  args.counterId = 0;
-  args.inOrder = inOrder;
-  if (payloadBytes != 0) args.payload = net::makeZeroPayload(payloadBytes);
-  m.client(src).post(args);
-  m.sim().run();
-  return done - start;
-}
-
-/// Bidirectional variant: both endpoints send simultaneously; the reported
-/// latency is the later of the two arrivals (ping-pong under full duplex).
-inline double bidirLatencyNs(net::Machine& m, net::ClientAddr a,
-                             net::ClientAddr b, std::size_t payloadBytes) {
-  double doneA = -1.0, doneB = -1.0;
-  auto receiver = [](net::Machine& mm, net::ClientAddr d, double& out)
-      -> sim::Task {
-    net::NetworkClient& c = mm.client(d);
-    co_await c.waitCounter(0, c.counterValue(0) + 1);
-    out = sim::toNs(mm.sim().now());
-  };
-  m.sim().spawn(receiver(m, a, doneA));
-  m.sim().spawn(receiver(m, b, doneB));
-  double start = sim::toNs(m.sim().now());
-  net::NetworkClient::SendArgs args;
-  args.counterId = 0;
-  if (payloadBytes != 0) args.payload = net::makeZeroPayload(payloadBytes);
-  args.dst = b;
-  m.client(a).post(args);
-  args.dst = a;
-  args.address = 512;
-  m.client(b).post(args);
-  m.sim().run();
-  return std::max(doneA, doneB) - start;
-}
+// The latency probes (SC10 §III-D methodology) moved to net/probe.hpp so
+// the simulation service's fig5-ping jobs and the benches measure through
+// one implementation; the bench-local names remain for existing callers.
+using net::bidirLatencyNs;
+using net::oneWayLatencyNs;
 
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";

@@ -3,43 +3,40 @@
 // bidirectional. Hops 1-4 run along X; hops 5-12 add Y then Z hops.
 // Paper anchors: 162 ns at 1 hop, 76 ns/hop in X, 54 ns/hop in Y/Z, and a
 // 12-hop latency roughly 5x the 1-hop latency.
+//
+// The measurement itself lives in the service runner (src/serve): this
+// driver builds the canonical Fig. 5 job spec, runs it on a local arena,
+// and formats the returned metrics — the same code path a fig5-ping job
+// takes through simd_server.
 #include "bench_common.hpp"
+
+#include "serve/job_spec.hpp"
+#include "serve/runner.hpp"
 
 using namespace anton;
 
-namespace {
-
-util::TorusCoord destAtHops(int hops) {
-  // 1-4: X only; 5-8: add Y; 9-12: add Z (shortest-path max 4 per dim).
-  int hx = std::min(hops, 4);
-  int hy = std::min(std::max(hops - 4, 0), 4);
-  int hz = std::min(std::max(hops - 8, 0), 4);
-  return {hx, hy, hz};
-}
-
-double measure(int hops, std::size_t payload, bool bidir) {
-  sim::Simulator sim;
-  net::Machine m(sim, {8, 8, 8});
-  net::ClientAddr src{0, net::kSlice0};
-  net::ClientAddr dst{util::torusIndex(destAtHops(hops), m.shape()),
-                      hops == 0 ? net::kSlice1 : net::kSlice0};
-  return bidir ? bench::bidirLatencyNs(m, src, dst, payload)
-               : bench::oneWayLatencyNs(m, src, dst, payload, true);
-}
-
-}  // namespace
-
 int main() {
   bench::banner("Figure 5: one-way latency vs. network hops (8x8x8 torus)");
+
+  serve::JobSpec spec = serve::fig5PingSpec(/*maxHops=*/12,
+                                            /*payloadBytes=*/256);
+  sim::Simulator arena;
+  serve::RunOutcome out = serve::runJob(spec, arena);
+  auto at = [&](const std::string& key) { return out.metrics.at(key); };
+  auto hopKey = [](const char* prefix, int payload, int hops) {
+    return std::string(prefix) + std::to_string(payload) + "_h" +
+           std::to_string(hops);
+  };
+
   util::TablePrinter table({"hops", "0B uni (ns)", "0B bidir (ns)",
                             "256B uni (ns)", "256B bidir (ns)"});
   util::CsvWriter csv("fig05_latency_vs_hops.csv");
   csv.row("hops", "uni0_ns", "bidir0_ns", "uni256_ns", "bidir256_ns");
-  for (int h = 0; h <= 12; ++h) {
-    double u0 = measure(h, 0, false);
-    double b0 = measure(h, 0, true);
-    double u256 = measure(h, 256, false);
-    double b256 = measure(h, 256, true);
+  for (int h = 0; h <= spec.maxHops; ++h) {
+    double u0 = at(hopKey("uni", 0, h));
+    double b0 = at(hopKey("bidir", 0, h));
+    double u256 = at(hopKey("uni", 256, h));
+    double b256 = at(hopKey("bidir", 256, h));
     table.addRow({std::to_string(h), util::TablePrinter::num(u0, 1),
                   util::TablePrinter::num(b0, 1),
                   util::TablePrinter::num(u256, 1),
@@ -48,9 +45,9 @@ int main() {
   }
   table.print(std::cout);
 
-  double h1 = measure(1, 0, false);
-  double h4 = measure(4, 0, false);
-  double h12 = measure(12, 0, false);
+  double h1 = at("uni0_h1");
+  double h4 = at("uni0_h4");
+  double h12 = at("uni0_h12");
   bench::JsonReporter json("fig05");
   json.record("one_hop_latency", 162.0, h1, "ns");
   json.record("x_slope", 76.0, (h4 - h1) / 3.0, "ns/hop");

@@ -1,0 +1,119 @@
+// Simulation-service throughput: the acceptance workload of DESIGN.md §9 —
+// 8 mixed-family jobs on a 4-worker simd server — measured for turnaround
+// and checked for the service's three hard invariants:
+//
+//   serial_parallel_match  every parallel result is bit-identical to serial
+//                          execution on a single arena (gate: 1.0)
+//   cache_hit_rate         resubmitting the whole workload is served
+//                          entirely from the snapshot-keyed cache (gate: 1.0)
+//   violation_free_jobs    all 8 jobs pass the static plan verifier (gate: 8)
+//
+// Wall-clock numbers (jobs/sec, p50/p99 turnaround) are informational:
+// they depend on host load, so they are recorded against themselves and
+// never gate the perf trajectory.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "serve/job_spec.hpp"
+#include "serve/runner.hpp"
+#include "serve/server.hpp"
+
+using namespace anton;
+
+namespace {
+
+std::vector<serve::JobSpec> workload() {
+  std::vector<serve::JobSpec> specs;
+  specs.push_back(serve::quickstartMdSpec(/*steps=*/1));
+  specs.push_back(serve::quickstartMdSpec(/*steps=*/2));
+  specs.push_back(serve::fig5PingSpec(/*maxHops=*/4, /*payloadBytes=*/256));
+  specs.push_back(serve::fig5PingSpec(/*maxHops=*/2, /*payloadBytes=*/0));
+  specs.push_back(serve::table2AllReduceSpec({4, 4, 4}, /*words=*/4));
+  specs.push_back(serve::table2AllReduceSpec({2, 2, 2}, /*words=*/0));
+  specs.push_back(serve::faultSweepSpec({2, 2, 2}, /*bitErrorRate=*/1e-5));
+  specs.push_back(serve::faultSweepSpec({4, 4, 1}, /*bitErrorRate=*/0.0,
+                                        /*maxRetransmits=*/4));
+  return specs;
+}
+
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  std::size_t rank = std::size_t(std::max(
+      0.0, std::ceil(p / 100.0 * double(v.size())) - 1.0));
+  return v[std::min(rank, v.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Simulation service: 8 mixed jobs on a 4-worker server");
+  std::vector<serve::JobSpec> specs = workload();
+
+  // Serial reference: every job on one arena, reset between jobs.
+  std::vector<serve::RunOutcome> serial;
+  sim::Simulator arena;
+  for (const serve::JobSpec& spec : specs) {
+    arena.reset();
+    serial.push_back(serve::runJob(spec, arena));
+  }
+
+  serve::JobServer server({.workers = 4, .queueCapacity = 16});
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> ids;
+  for (const serve::JobSpec& spec : specs)
+    ids.push_back(server.submit(spec).id);
+  int matches = 0;
+  int violationFree = 0;
+  std::vector<double> turnaroundMs;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    serve::JobRecord rec = server.wait(ids[i]);
+    if (rec.state == serve::JobState::kDone &&
+        rec.resultJson == serial[i].resultJson &&
+        rec.digest == serial[i].digest)
+      ++matches;
+    if (rec.state == serve::JobState::kDone && rec.violations == 0)
+      ++violationFree;
+    turnaroundMs.push_back(rec.turnaroundMs);
+  }
+  double elapsedSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Resubmit the whole workload: every job must come out of the cache.
+  int hits = 0;
+  for (const serve::JobSpec& spec : specs) {
+    serve::JobRecord rec = server.wait(server.submit(spec).id);
+    if (rec.state == serve::JobState::kDone && rec.cacheHit) ++hits;
+  }
+  server.shutdown();
+
+  double n = double(specs.size());
+  double jobsPerSec = n / elapsedSec;
+  double p50 = percentile(turnaroundMs, 50);
+  double p99 = percentile(turnaroundMs, 99);
+
+  util::TablePrinter table({"metric", "value"});
+  table.addRow({"serial/parallel matches", std::to_string(matches) + "/8"});
+  table.addRow({"cache hits on resubmit", std::to_string(hits) + "/8"});
+  table.addRow({"violation-free jobs", std::to_string(violationFree) + "/8"});
+  table.addRow({"jobs/sec", util::TablePrinter::num(jobsPerSec, 2)});
+  table.addRow({"p50 turnaround (ms)", util::TablePrinter::num(p50, 1)});
+  table.addRow({"p99 turnaround (ms)", util::TablePrinter::num(p99, 1)});
+  table.print(std::cout);
+
+  bench::JsonReporter json("serve");
+  json.record("serial_parallel_match", 1.0, matches / n, "fraction");
+  json.record("cache_hit_rate", 1.0, hits / n, "fraction");
+  json.record("violation_free_jobs", 8.0, double(violationFree), "jobs");
+  // Host-dependent wall-clock numbers: informational (deviation pinned 0).
+  json.record("jobs_per_sec", jobsPerSec, jobsPerSec, "jobs/s");
+  json.record("p50_turnaround_ms", p50, p50, "ms");
+  json.record("p99_turnaround_ms", p99, p99, "ms");
+
+  bool ok = matches == 8 && hits == 8 && violationFree == 8;
+  std::cout << (ok ? "\nall service invariants hold\n"
+                   : "\nSERVICE INVARIANT VIOLATED\n");
+  return ok ? 0 : 1;
+}

@@ -3,17 +3,32 @@
 // comparison anchors of §IV-B4: the 512-node InfiniBand cluster (~35.5 us,
 // a 20x gap) and BlueGene/L's hardware tree (4.22 us for 16 B at 512
 // nodes). Includes the radix-2 butterfly ablation the paper argues against.
+//
+// The dimension-ordered measurements run through the service runner
+// (src/serve) via the canonical Table 2 job spec — the same code path a
+// table2-allreduce job takes through simd_server. The butterfly ablation
+// and the cluster anchor are driver-local: they are comparison points, not
+// service job families.
 #include "bench_common.hpp"
 
 #include "cluster/collectives.hpp"
 #include "core/allreduce.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/runner.hpp"
 
 using namespace anton;
 
 namespace {
 
-template <typename Reducer>
-double reduceUs(net::Machine& m, Reducer& red, std::size_t words) {
+double dimOrderedUs(sim::Simulator& arena, util::TorusShape shape,
+                    int words) {
+  serve::RunOutcome out =
+      serve::runJob(serve::table2AllReduceSpec(shape, words), arena);
+  return out.metrics.at("allreduce_us");
+}
+
+double butterflyUs(net::Machine& m, std::size_t words) {
+  core::ButterflyAllReduce red(m);
   double start = sim::toUs(m.sim().now());
   double done = start;
   auto task = [&](int node) -> sim::Task {
@@ -49,23 +64,16 @@ int main() {
           "b32_model_us", "b32_butterfly_us");
   bench::JsonReporter json("table2");
 
+  sim::Simulator arena;  // one reused arena, reset per job — as in serve
   double model512 = 0;
   for (const Config& c : configs) {
-    sim::Simulator s0;
-    net::Machine m0(s0, c.shape);
-    core::DimOrderedAllReduce r0(m0);
-    double zero = reduceUs(m0, r0, 0);
-
-    sim::Simulator s1;
-    net::Machine m1(s1, c.shape);
-    core::DimOrderedAllReduce r1(m1);
-    double b32 = reduceUs(m1, r1, 4);
+    double zero = dimOrderedUs(arena, c.shape, 0);
+    double b32 = dimOrderedUs(arena, c.shape, 4);
     if (c.shape.size() == 512) model512 = b32;
 
     sim::Simulator s2;
     net::Machine m2(s2, c.shape);
-    core::ButterflyAllReduce r2(m2);
-    double bfly = reduceUs(m2, r2, 4);
+    double bfly = butterflyUs(m2, 4);
 
     std::string name =
         std::to_string(c.shape.size()) + " (" + c.shape.str() + ")";

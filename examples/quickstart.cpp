@@ -1,6 +1,7 @@
 // Quickstart: build a small Anton machine, send counted remote writes, use
 // hardware multicast, and run a global all-reduce — the paper's three core
-// communication primitives in ~100 lines.
+// communication primitives — then run the same configuration as a
+// simulation-service job (DESIGN.md §9).
 //
 //   ./examples/quickstart
 #include <iostream>
@@ -9,15 +10,23 @@
 #include "core/allreduce.hpp"
 #include "core/multicast.hpp"
 #include "net/machine.hpp"
+#include "plan_registry.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/runner.hpp"
 #include "sim/simulator.hpp"
+#include "verify/snapshot.hpp"
 
 using namespace anton;
 
 int main() {
+  // The quickstart configuration comes from the shared job-spec factory —
+  // the same spec the MD example job, the service and the benches build.
   // A 4x4x4 torus: 64 nodes, each with 4 processing slices, an HTIS, and
   // two accumulation memories.
+  serve::JobSpec spec = serve::quickstartMdSpec();
   sim::Simulator sim;
-  net::Machine machine(sim, {4, 4, 4});
+  net::Machine machine(sim, spec.shape);
+  const int nodes = machine.numNodes();
 
   // --- 1. counted remote write: push data + synchronization in one packet.
   std::cout << "1) counted remote write\n";
@@ -65,20 +74,34 @@ int main() {
             << machine.stats().multicastForks << "x in the network)\n";
 
   // --- 3. dimension-ordered all-reduce across all 64 nodes.
-  std::cout << "3) global all-reduce (32 bytes, all 64 nodes)\n";
+  std::cout << "3) global all-reduce (32 bytes, all " << nodes
+            << " nodes)\n";
   core::DimOrderedAllReduce allReduce(machine);
-  std::vector<std::vector<double>> results(64);
+  std::vector<std::vector<double>> results;
+  results.resize(std::size_t(nodes));
   auto reduceTask = [&](int node) -> sim::Task {
     std::vector<double> in(4, double(node));  // contribute [node, node, ...]
     co_await allReduce.run(node, std::move(in), &results[std::size_t(node)]);
   };
   sim::Time t0 = sim.now();
-  for (int n = 0; n < 64; ++n) sim.spawn(reduceTask(n));
+  for (int n = 0; n < nodes; ++n) sim.spawn(reduceTask(n));
   sim.run();
   std::cout << "   every node computed sum = " << results[0][0]
-            << " (expected " << 63 * 64 / 2 << ") in "
+            << " (expected " << (nodes - 1) * nodes / 2 << ") in "
             << sim::toUs(sim.now() - t0) << " us\n";
 
-  std::cout << "\nDone. Explore bench/ for the paper's tables and figures.\n";
+  // --- 4. the same configuration as a simulation-service job: the spec is
+  // declarative, its communication plan is statically verifiable, and the
+  // result is canonical JSON a simd_server would cache under the plan key.
+  std::cout << "4) run the quickstart MD job through the service runner\n";
+  verify::CommPlan plan = serve::planForSpec(spec);
+  sim::Simulator arena;
+  serve::RunOutcome out = serve::runJob(spec, arena);
+  std::cout << "   plan key " << verify::planKeyHex(plan) << ", job key "
+            << util::hex64(serve::jobKey(spec, plan)) << "\n"
+            << "   " << out.resultJson << "\n";
+
+  std::cout << "\nDone. Explore bench/ for the paper's tables and figures,\n"
+               "and tools/simd_server for the job-server daemon.\n";
   return 0;
 }

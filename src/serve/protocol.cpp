@@ -1,0 +1,82 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace anton::serve {
+namespace {
+
+namespace json = util::json;
+
+std::string errorResponse(const std::string& message) {
+  return "{\"ok\":false,\"error\":" + json::quoted(message) + "}";
+}
+
+std::uint64_t requestId(const json::Value& req) {
+  return json::asU64(json::field(req, "id", "request.id"), "request.id");
+}
+
+std::string handleSubmit(JobServer& server, const json::Value& req) {
+  JobSpec spec = specFromValue(json::field(req, "spec", "request.spec"));
+  SubmitOptions opts;
+  if (const json::Value* f = json::optField(req, "useCache"))
+    opts.useCache = json::asBool(*f, "request.useCache");
+  if (const json::Value* f = json::optField(req, "deadlineMs"))
+    opts.deadlineMs = json::asDouble(*f, "request.deadlineMs");
+  SubmitOutcome out = server.submit(spec, opts);
+  if (!out.accepted)
+    return "{\"ok\":false,\"rejected\":true,\"error\":" +
+           json::quoted(out.reason) + "}";
+  return "{\"ok\":true,\"id\":" + std::to_string(out.id) + "}";
+}
+
+}  // namespace
+
+std::string recordToJson(const JobRecord& rec) {
+  std::ostringstream os;
+  os << "{\"id\":" << rec.id
+     << ",\"state\":" << json::quoted(stateName(rec.state))
+     << ",\"family\":" << json::quoted(familyName(rec.spec.family))
+     << ",\"cacheHit\":" << (rec.cacheHit ? "true" : "false")
+     << ",\"cacheKey\":" << json::quoted(rec.cacheKeyHex)
+     << ",\"violations\":" << rec.violations << ",\"lints\":" << rec.lints
+     << ",\"worker\":" << rec.worker
+     << ",\"turnaroundMs\":" << json::number(rec.turnaroundMs)
+     << ",\"error\":" << json::quoted(rec.error) << ",\"result\":"
+     << (rec.resultJson.empty() ? std::string("null") : rec.resultJson)
+     << ",\"spec\":" << specToJson(rec.spec) << "}";
+  return os.str();
+}
+
+ProtocolResult handleLine(JobServer& server, const std::string& line) {
+  try {
+    json::Value req = json::parse(line, "request");
+    const std::string& op =
+        json::asString(json::field(req, "op", "request.op"), "request.op");
+    if (op == "submit") return {handleSubmit(server, req), false};
+    if (op == "poll") {
+      auto rec = server.poll(requestId(req));
+      if (!rec) return {errorResponse("unknown job id"), false};
+      return {"{\"ok\":true,\"job\":" + recordToJson(*rec) + "}", false};
+    }
+    if (op == "wait") {
+      JobRecord rec = server.wait(requestId(req));
+      return {"{\"ok\":true,\"job\":" + recordToJson(rec) + "}", false};
+    }
+    if (op == "cancel") {
+      bool cancelled = server.cancel(requestId(req));
+      return {std::string("{\"ok\":true,\"cancelled\":") +
+                  (cancelled ? "true" : "false") + "}",
+              false};
+    }
+    if (op == "status")
+      return {"{\"ok\":true,\"status\":" + server.statusz() + "}", false};
+    if (op == "shutdown") return {"{\"ok\":true,\"shutdown\":true}", true};
+    return {errorResponse("unknown op \"" + op + "\""), false};
+  } catch (const std::exception& e) {
+    return {errorResponse(e.what()), false};
+  }
+}
+
+}  // namespace anton::serve

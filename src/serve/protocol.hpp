@@ -1,0 +1,36 @@
+// The service wire protocol: line-delimited strict JSON, one request line
+// in, one response line out. Transport-independent — the simd_server daemon
+// speaks it over an AF_UNIX socket or stdin/stdout, and tests drive it as a
+// pure function.
+//
+// Requests ("op" selects the operation):
+//   {"op":"submit","spec":{...},"useCache":true,"deadlineMs":0}
+//   {"op":"poll","id":N}       {"op":"wait","id":N}   (wait blocks)
+//   {"op":"cancel","id":N}     {"op":"status"}        {"op":"shutdown"}
+//
+// Responses always carry "ok". Success: {"ok":true,...}; any malformed
+// line, unknown op, invalid spec or rejected submission answers
+// {"ok":false,"error":"..."} — and the connection (and daemon) stay up:
+// a bad request must never take the service down.
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace anton::serve {
+
+/// Canonical JSON rendering of a job record (the "job" field of poll/wait
+/// responses).
+std::string recordToJson(const JobRecord& rec);
+
+struct ProtocolResult {
+  std::string response;   ///< one JSON line (no trailing newline)
+  bool shutdown = false;  ///< the request asked the daemon to exit
+};
+
+/// Execute one request line against the server. Never throws: every failure
+/// becomes an {"ok":false,...} response.
+ProtocolResult handleLine(JobServer& server, const std::string& line);
+
+}  // namespace anton::serve

@@ -1,0 +1,74 @@
+// Job execution for the simulation service (DESIGN.md §9).
+//
+// The runner is the single-threaded heart of a worker: given a validated
+// JobSpec and an arena Simulator it owns for the duration of the call, it
+// reproduces the corresponding experiment driver exactly — same machine
+// construction, same measurement helpers, same arithmetic — and renders the
+// observables as canonical JSON. Determinism is the contract: the same spec
+// on any worker (or serially on one) produces byte-identical result JSON,
+// which is what makes the snapshot-keyed result cache sound.
+//
+// Cache keying: jobKey() continues one FNV-1a stream over the canonical
+// spec JSON and the plan's canonical snapshot bytes (verify/snapshot.hpp).
+// Two submissions key identically exactly when they request the same
+// choreography with the same parameters — so verification and simulation
+// happen once per distinct choreography.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/job_spec.hpp"
+#include "sim/simulator.hpp"
+#include "verify/plan.hpp"
+
+namespace anton::serve {
+
+/// Cooperative cancellation: the runner polls stop() between units of work
+/// (an MD step, one ping measurement, one collective) and abandons the job
+/// cleanly when it fires. Default-constructed tokens never stop.
+struct CancelToken {
+  const std::atomic<bool>* cancelled = nullptr;
+  bool hasDeadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool stop() const {
+    if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed))
+      return true;
+    return hasDeadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+/// What a completed (or abandoned) run produced.
+struct RunOutcome {
+  bool cancelled = false;  ///< token fired; metrics/json are empty
+  /// Observables, in canonical (sorted-key) order.
+  std::map<std::string, double> metrics;
+  /// Canonical JSON rendering of the outcome: {"family":...,"metrics":{...},
+  /// "digest":"0x..."}. Byte-identical across workers for identical specs.
+  std::string resultJson;
+  /// FNV-1a over the canonical metrics serialization — the value two
+  /// concurrent runs of one spec must agree on bit-for-bit.
+  std::uint64_t digest = 0;
+};
+
+/// The static communication plan a spec will put on the wire, built through
+/// the shipped plan registry (tools/plan_registry). Throws on specs whose
+/// family/shape combination has no plan (validateSpec rejects those first).
+verify::CommPlan planForSpec(const JobSpec& spec);
+
+/// The service cache key: FNV-1a over canonical spec JSON, continued over
+/// the plan's canonical snapshot bytes.
+std::uint64_t jobKey(const JobSpec& spec, const verify::CommPlan& plan);
+
+/// Execute `spec` on `arena`. The runner resets the arena before each
+/// internal measurement unit, so results are identical to running on a
+/// fresh Simulator; it leaves the arena drained (a subsequent reset()
+/// reports 0 discarded — the cross-job leak audit the server performs).
+RunOutcome runJob(const JobSpec& spec, sim::Simulator& arena,
+                  const CancelToken& cancel = {});
+
+}  // namespace anton::serve

@@ -71,6 +71,19 @@ std::uint64_t Simulator::run() {
   return n;
 }
 
+std::size_t Simulator::reset() {
+  purgeCancelled();
+  std::size_t discarded = queue_.size() + roots_.size();
+  queue_ = {};
+  // Destroying a suspended root unwinds its frame without resuming it; any
+  // events it scheduled are already gone with the queue.
+  roots_.clear();
+  now_ = 0;
+  nextSeq_ = 0;
+  processed_ = 0;
+  return discarded;
+}
+
 std::uint64_t Simulator::runUntil(Time deadline) {
   std::uint64_t n = 0;
   while (true) {

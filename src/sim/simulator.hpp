@@ -70,6 +70,16 @@ class Simulator {
   /// Execute a single event if one is pending; returns false when idle.
   bool step();
 
+  /// Return the kernel to its just-constructed state: pending events are
+  /// discarded unexecuted, live root-task frames are destroyed (their
+  /// destructors run; no callbacks fire), and the clock, sequence counter
+  /// and processed tally restart from zero. The explicit arena-reuse audit
+  /// point for workers that run many jobs on one Simulator (src/serve): a
+  /// reset kernel is indistinguishable from a fresh one, so job results
+  /// cannot depend on what ran before. Returns the number of pending events
+  /// plus live roots that were discarded (0 = the arena was already clean).
+  std::size_t reset();
+
   /// Awaitable for `co_await simctx.delay(...)`-style use; see delay().
   struct DelayAwaiter {
     Simulator& sim;

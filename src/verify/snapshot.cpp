@@ -1,316 +1,52 @@
 #include "verify/snapshot.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
-#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
 
+#include "util/json.hpp"
+
 namespace anton::verify {
 namespace {
 
-// ---- emission -------------------------------------------------------------
+// ---- emission (canonical JSON via the shared strict emitter) ---------------
 
-std::string jsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          const int n = std::snprintf(buf, sizeof(buf), "\\u%04x",
-                                      unsigned(static_cast<unsigned char>(c)));
-          out.append(buf, n > 0 ? std::size_t(n) : 0);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string jsonString(const std::string& s) { return util::json::quoted(s); }
 
 std::string num(std::uint64_t v) { return std::to_string(v); }
 std::string num(int v) { return std::to_string(v); }
 const char* boolean(bool b) { return b ? "true" : "false"; }
 
-// ---- parsing: a minimal strict-JSON reader ---------------------------------
+// ---- parsing: the shared strict-JSON reader (util/json.hpp) ---------------
 
-struct JsonValue {
-  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = kNull;
-  bool b = false;
-  double n = 0;
-  std::string s;
-  std::vector<JsonValue> arr;
-  std::map<std::string, JsonValue> obj;
-};
+using util::json::Value;
 
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parseDocument() {
-    JsonValue v = parseValue();
-    skipWs();
-    if (pos_ != text_.size()) fail("trailing content after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("plan snapshot: " + why + " at byte " +
-                             std::to_string(pos_));
-  }
-
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    skipWs();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consumeLiteral(const char* lit) {
-    std::size_t len = std::char_traits<char>::length(lit);
-    if (text_.compare(pos_, len, lit) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  JsonValue parseValue() {
-    char c = peek();
-    JsonValue v;
-    switch (c) {
-      case '{':
-        return parseObject();
-      case '[':
-        return parseArray();
-      case '"':
-        v.type = JsonValue::kString;
-        v.s = parseString();
-        return v;
-      case 't':
-        if (!consumeLiteral("true")) fail("bad literal");
-        v.type = JsonValue::kBool;
-        v.b = true;
-        return v;
-      case 'f':
-        if (!consumeLiteral("false")) fail("bad literal");
-        v.type = JsonValue::kBool;
-        v.b = false;
-        return v;
-      case 'n':
-        if (!consumeLiteral("null")) fail("bad literal");
-        return v;
-      default:
-        return parseNumber();
-    }
-  }
-
-  JsonValue parseObject() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      if (peek() != '"') fail("object key must be a string");
-      std::string key = parseString();
-      expect(':');
-      v.obj.emplace(std::move(key), parseValue());
-      char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue parseArray() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(parseValue());
-      char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      char e = text_[pos_++];
-      switch (e) {
-        case '"':
-        case '\\':
-        case '/':
-          out += e;
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9')
-              cp |= unsigned(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              cp |= unsigned(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              cp |= unsigned(h - 'A' + 10);
-            else
-              fail("bad \\u escape digit");
-          }
-          // Plan snapshots only ever contain ASCII; decode BMP code points
-          // to UTF-8 so the parser stays a strict-JSON reader regardless.
-          if (cp < 0x80) {
-            out += char(cp);
-          } else if (cp < 0x800) {
-            out += char(0xc0 | (cp >> 6));
-            out += char(0x80 | (cp & 0x3f));
-          } else {
-            out += char(0xe0 | (cp >> 12));
-            out += char(0x80 | ((cp >> 6) & 0x3f));
-            out += char(0x80 | (cp & 0x3f));
-          }
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-    fail("unterminated string");
-  }
-
-  JsonValue parseNumber() {
-    skipWs();
-    std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    auto digits = [&] {
-      std::size_t before = pos_;
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_])))
-        ++pos_;
-      return pos_ > before;
-    };
-    if (!digits()) fail("malformed number");
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (!digits()) fail("malformed number fraction");
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
-        ++pos_;
-      if (!digits()) fail("malformed number exponent");
-    }
-    JsonValue v;
-    v.type = JsonValue::kNumber;
-    v.n = std::stod(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// ---- typed field access ----------------------------------------------------
-
-const JsonValue& field(const JsonValue& obj, const std::string& key) {
-  auto it = obj.obj.find(key);
-  if (it == obj.obj.end())
-    throw std::runtime_error("plan snapshot: missing field '" + key + "'");
-  return it->second;
+const Value& field(const Value& obj, const std::string& key) {
+  return util::json::field(obj, key, "plan snapshot");
 }
 
-const JsonValue* optField(const JsonValue& obj, const std::string& key) {
-  auto it = obj.obj.find(key);
-  return it == obj.obj.end() ? nullptr : &it->second;
+const Value* jsonOpt(const Value& obj, const std::string& key) {
+  return util::json::optField(obj, key);
 }
 
-int asInt(const JsonValue& v, const std::string& what) {
-  if (v.type != JsonValue::kNumber)
-    throw std::runtime_error("plan snapshot: '" + what + "' is not a number");
-  return int(v.n);
+int jsonInt(const Value& v, const std::string& what) {
+  return util::json::asInt(v, "plan snapshot: '" + what + "'");
 }
 
-std::uint64_t asU64(const JsonValue& v, const std::string& what) {
-  if (v.type != JsonValue::kNumber || v.n < 0)
-    throw std::runtime_error("plan snapshot: '" + what +
-                             "' is not a non-negative number");
-  return std::uint64_t(v.n);
+std::uint64_t jsonU64(const Value& v, const std::string& what) {
+  return util::json::asU64(v, "plan snapshot: '" + what + "'");
 }
 
-const std::string& asString(const JsonValue& v, const std::string& what) {
-  if (v.type != JsonValue::kString)
-    throw std::runtime_error("plan snapshot: '" + what + "' is not a string");
-  return v.s;
+const std::string& jsonStr(const Value& v, const std::string& what) {
+  return util::json::asString(v, "plan snapshot: '" + what + "'");
 }
 
-bool asBool(const JsonValue& v, const std::string& what) {
-  if (v.type != JsonValue::kBool)
-    throw std::runtime_error("plan snapshot: '" + what + "' is not a bool");
-  return v.b;
+bool jsonBool(const Value& v, const std::string& what) {
+  return util::json::asBool(v, "plan snapshot: '" + what + "'");
 }
 
 std::string clientLabel(const net::ClientAddr& a) {
@@ -446,96 +182,96 @@ std::string planToJson(const CommPlan& plan) {
 }
 
 CommPlan planFromJson(const std::string& json) {
-  JsonValue root = JsonParser(json).parseDocument();
-  if (root.type != JsonValue::kObject)
+  Value root = util::json::parse(json, "plan snapshot");
+  if (root.type != Value::kObject)
     throw std::runtime_error("plan snapshot: document is not an object");
 
   CommPlan plan;
-  plan.name = asString(field(root, "name"), "name");
-  const JsonValue& shape = field(root, "shape");
-  if (shape.type != JsonValue::kArray || shape.arr.size() != 3)
+  plan.name = jsonStr(field(root, "name"), "name");
+  const Value& shape = field(root, "shape");
+  if (shape.type != Value::kArray || shape.arr.size() != 3)
     throw std::runtime_error("plan snapshot: 'shape' is not a 3-array");
-  plan.shape = {asInt(shape.arr[0], "shape.x"), asInt(shape.arr[1], "shape.y"),
-                asInt(shape.arr[2], "shape.z")};
+  plan.shape = {jsonInt(shape.arr[0], "shape.x"), jsonInt(shape.arr[1], "shape.y"),
+                jsonInt(shape.arr[2], "shape.z")};
 
-  for (const JsonValue& p : field(root, "phases").arr)
-    plan.phases.push_back(asString(p, "phase"));
-  for (const JsonValue& e : field(root, "phaseEdges").arr) {
-    if (e.type != JsonValue::kArray || e.arr.size() != 2)
+  for (const Value& p : field(root, "phases").arr)
+    plan.phases.push_back(jsonStr(p, "phase"));
+  for (const Value& e : field(root, "phaseEdges").arr) {
+    if (e.type != Value::kArray || e.arr.size() != 2)
       throw std::runtime_error("plan snapshot: phase edge is not a pair");
-    plan.phaseEdges.emplace_back(asInt(e.arr[0], "edge.from"),
-                                 asInt(e.arr[1], "edge.to"));
+    plan.phaseEdges.emplace_back(jsonInt(e.arr[0], "edge.from"),
+                                 jsonInt(e.arr[1], "edge.to"));
   }
 
-  for (const JsonValue& jw : field(root, "writes").arr) {
+  for (const Value& jw : field(root, "writes").arr) {
     PlannedWrite w;
-    w.phase = asString(field(jw, "phase"), "write.phase");
-    w.srcNode = asInt(field(jw, "srcNode"), "write.srcNode");
-    w.dst = {asInt(field(jw, "dstNode"), "write.dstNode"),
-             asInt(field(jw, "dstClient"), "write.dstClient")};
-    w.pattern = asInt(field(jw, "pattern"), "write.pattern");
-    w.counterId = asInt(field(jw, "counterId"), "write.counterId");
-    w.packets = asU64(field(jw, "packets"), "write.packets");
-    w.inOrder = asBool(field(jw, "inOrder"), "write.inOrder");
-    if (const JsonValue* f = optField(jw, "fifo"))
-      w.fifo = asBool(*f, "write.fifo");
-    if (const JsonValue* s = optField(jw, "seq"))
-      w.seq = asInt(*s, "write.seq");
+    w.phase = jsonStr(field(jw, "phase"), "write.phase");
+    w.srcNode = jsonInt(field(jw, "srcNode"), "write.srcNode");
+    w.dst = {jsonInt(field(jw, "dstNode"), "write.dstNode"),
+             jsonInt(field(jw, "dstClient"), "write.dstClient")};
+    w.pattern = jsonInt(field(jw, "pattern"), "write.pattern");
+    w.counterId = jsonInt(field(jw, "counterId"), "write.counterId");
+    w.packets = jsonU64(field(jw, "packets"), "write.packets");
+    w.inOrder = jsonBool(field(jw, "inOrder"), "write.inOrder");
+    if (const Value* f = jsonOpt(jw, "fifo"))
+      w.fifo = jsonBool(*f, "write.fifo");
+    if (const Value* s = jsonOpt(jw, "seq"))
+      w.seq = jsonInt(*s, "write.seq");
     plan.writes.push_back(std::move(w));
   }
 
-  for (const JsonValue& je : field(root, "expectations").arr) {
+  for (const Value& je : field(root, "expectations").arr) {
     CounterExpectation e;
-    e.site = asString(field(je, "site"), "expectation.site");
-    e.phase = asString(field(je, "phase"), "expectation.phase");
-    e.client = {asInt(field(je, "node"), "expectation.node"),
-                asInt(field(je, "client"), "expectation.client")};
-    e.counterId = asInt(field(je, "counterId"), "expectation.counterId");
-    e.perRound = asU64(field(je, "perRound"), "expectation.perRound");
+    e.site = jsonStr(field(je, "site"), "expectation.site");
+    e.phase = jsonStr(field(je, "phase"), "expectation.phase");
+    e.client = {jsonInt(field(je, "node"), "expectation.node"),
+                jsonInt(field(je, "client"), "expectation.client")};
+    e.counterId = jsonInt(field(je, "counterId"), "expectation.counterId");
+    e.perRound = jsonU64(field(je, "perRound"), "expectation.perRound");
     for (const auto& [src, n] : field(je, "bySource").obj)
-      e.bySource[std::stoi(src)] = asU64(n, "expectation.bySource");
+      e.bySource[std::stoi(src)] = jsonU64(n, "expectation.bySource");
     e.recoveryArmed =
-        asBool(field(je, "recoveryArmed"), "expectation.recoveryArmed");
-    if (const JsonValue* s = optField(je, "seq"))
-      e.seq = asInt(*s, "expectation.seq");
+        jsonBool(field(je, "recoveryArmed"), "expectation.recoveryArmed");
+    if (const Value* s = jsonOpt(je, "seq"))
+      e.seq = jsonInt(*s, "expectation.seq");
     plan.expectations.push_back(std::move(e));
   }
 
-  for (const JsonValue& jm : field(root, "multicasts").arr) {
+  for (const Value& jm : field(root, "multicasts").arr) {
     MulticastPlanEntry m;
-    m.patternId = asInt(field(jm, "patternId"), "multicast.patternId");
-    m.srcNode = asInt(field(jm, "srcNode"), "multicast.srcNode");
+    m.patternId = jsonInt(field(jm, "patternId"), "multicast.patternId");
+    m.srcNode = jsonInt(field(jm, "srcNode"), "multicast.srcNode");
     for (const auto& [node, row] : field(jm, "entries").obj) {
-      if (row.type != JsonValue::kArray || row.arr.size() != 2)
+      if (row.type != Value::kArray || row.arr.size() != 2)
         throw std::runtime_error(
             "plan snapshot: multicast table row is not a mask pair");
       m.entries[std::stoi(node)] = {
-          std::uint8_t(asInt(row.arr[0], "multicast.clientMask")),
-          std::uint8_t(asInt(row.arr[1], "multicast.linkMask"))};
+          std::uint8_t(jsonInt(row.arr[0], "multicast.clientMask")),
+          std::uint8_t(jsonInt(row.arr[1], "multicast.linkMask"))};
     }
-    for (const JsonValue& d : field(jm, "declaredDests").arr) {
-      if (d.type != JsonValue::kArray || d.arr.size() != 2)
+    for (const Value& d : field(jm, "declaredDests").arr) {
+      if (d.type != Value::kArray || d.arr.size() != 2)
         throw std::runtime_error("plan snapshot: dest is not a pair");
       m.declaredDests.push_back(
-          {asInt(d.arr[0], "dest.node"), asInt(d.arr[1], "dest.client")});
+          {jsonInt(d.arr[0], "dest.node"), jsonInt(d.arr[1], "dest.client")});
     }
     plan.multicasts.push_back(std::move(m));
   }
 
-  for (const JsonValue& jb : field(root, "buffers").arr) {
+  for (const Value& jb : field(root, "buffers").arr) {
     BufferPlan b;
-    b.name = asString(field(jb, "name"), "buffer.name");
-    b.client = {asInt(field(jb, "node"), "buffer.node"),
-                asInt(field(jb, "client"), "buffer.client")};
-    b.base = std::uint32_t(asU64(field(jb, "base"), "buffer.base"));
-    b.bytes = std::uint32_t(asU64(field(jb, "bytes"), "buffer.bytes"));
-    b.copies = asInt(field(jb, "copies"), "buffer.copies");
-    b.freePhase = asString(field(jb, "freePhase"), "buffer.freePhase");
-    for (const JsonValue& w : field(jb, "writers").arr) {
-      if (w.type != JsonValue::kArray || w.arr.size() != 2)
+    b.name = jsonStr(field(jb, "name"), "buffer.name");
+    b.client = {jsonInt(field(jb, "node"), "buffer.node"),
+                jsonInt(field(jb, "client"), "buffer.client")};
+    b.base = std::uint32_t(jsonU64(field(jb, "base"), "buffer.base"));
+    b.bytes = std::uint32_t(jsonU64(field(jb, "bytes"), "buffer.bytes"));
+    b.copies = jsonInt(field(jb, "copies"), "buffer.copies");
+    b.freePhase = jsonStr(field(jb, "freePhase"), "buffer.freePhase");
+    for (const Value& w : field(jb, "writers").arr) {
+      if (w.type != Value::kArray || w.arr.size() != 2)
         throw std::runtime_error("plan snapshot: writer is not a pair");
-      b.writers.push_back({asInt(w.arr[0], "writer.node"),
-                           asString(w.arr[1], "writer.phase")});
+      b.writers.push_back({jsonInt(w.arr[0], "writer.node"),
+                           jsonStr(w.arr[1], "writer.phase")});
     }
     plan.buffers.push_back(std::move(b));
   }
@@ -770,6 +506,14 @@ PlanDelta diffPlans(const CommPlan& a, const CommPlan& b) {
   }
 
   return delta;
+}
+
+std::uint64_t planKey(const CommPlan& plan) {
+  return util::fnv1a64(planToJson(plan));
+}
+
+std::string planKeyHex(const CommPlan& plan) {
+  return util::hex64(planKey(plan));
 }
 
 }  // namespace anton::verify

@@ -27,6 +27,17 @@ std::string planToJson(const CommPlan& plan);
 /// position-annotated message on malformed JSON or missing fields.
 CommPlan planFromJson(const std::string& json);
 
+/// Stable 64-bit FNV-1a key over the canonical snapshot bytes of a plan.
+/// Identical across runs and platforms: the canonical JSON is byte-stable
+/// (fixed key order, integer-only numbers, classic-locale formatting) and
+/// FNV-1a consumes it byte-wise, so host endianness never enters the hash.
+/// This is the cache key the job server (src/serve) uses: identical
+/// choreographies key identically, so they verify and simulate once.
+std::uint64_t planKey(const CommPlan& plan);
+
+/// planKey rendered as "0x" + 16 lowercase hex digits.
+std::string planKeyHex(const CommPlan& plan);
+
 /// One structural difference between two plans.
 struct PlanDeltaEntry {
   std::string category;  ///< "shape", "phase", "write", "expectation",

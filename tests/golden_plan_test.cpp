@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -47,6 +49,46 @@ TEST(GoldenPlans, CommittedSnapshotsMatchTheExtractors) {
     // describe still passes the verifier.
     EXPECT_EQ(planToJson(golden), json);
     EXPECT_TRUE(verifyPlan(built).ok());
+  }
+}
+
+// Pinned plan keys: verify::planKey is the stable identity of a plan (FNV-1a
+// over its canonical snapshot bytes) and feeds the simulation service's
+// result-cache keys, so a drifting key silently invalidates every cached
+// result for that plan. Any intentional plan change must update the constant
+// here — the new value comes from `verify_plans --plan-keys`.
+TEST(GoldenPlans, PlanKeysArePinned) {
+  const std::map<std::string, std::string> pinned = {
+      {"fig5-ping", "0x63269775621c1e80"},
+      {"table2-allreduce-2x2x2", "0x619e4b59a2583b5b"},
+      {"cluster-allreduce-16", "0xfa4e16a976b945bb"},
+      {"fft-pair-2x2x2", "0xc15a6eea61224b87"},
+      {"quickstart-md", "0x505f77b1cce62614"},
+      {"md-4x4x1", "0x131f4353d10448bf"},
+  };
+  std::set<std::string> names;
+  for (const std::string& name : tools::goldenPlanNames()) {
+    SCOPED_TRACE(name);
+    names.insert(name);
+    auto it = pinned.find(name);
+    ASSERT_NE(it, pinned.end())
+        << "new golden plan without a pinned key; add its "
+           "`verify_plans --plan-keys` value here";
+    EXPECT_EQ(planKeyHex(tools::buildNamedPlan(name)), it->second);
+  }
+  EXPECT_EQ(names.size(), pinned.size()) << "stale pinned key entry";
+}
+
+// planKey must be a pure function of the canonical bytes: rebuilding the
+// plan and round-tripping it through the snapshot serializer both yield the
+// same key.
+TEST(GoldenPlans, PlanKeyIsStableAcrossRebuildAndRoundTrip) {
+  for (const std::string& name : tools::goldenPlanNames()) {
+    SCOPED_TRACE(name);
+    const CommPlan a = tools::buildNamedPlan(name);
+    const CommPlan b = tools::buildNamedPlan(name);
+    EXPECT_EQ(planKey(a), planKey(b));
+    EXPECT_EQ(planKey(planFromJson(planToJson(a))), planKey(a));
   }
 }
 

@@ -254,6 +254,56 @@ TEST(Simulator, CancelAfterFiringIsHarmless) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Simulator, ResetReturnsTheKernelToAFreshState) {
+  // The arena-reuse audit point: a worker running many jobs on one
+  // Simulator must observe a reset kernel as indistinguishable from a
+  // fresh one — clock at zero, no pending events, no live frames.
+  Simulator sim;
+  int fired = 0;
+  auto looper = [](Simulator& s, int& n) -> Task {
+    for (;;) {
+      co_await s.delay(ns(10));
+      ++n;
+    }
+  };
+  sim.spawn(looper(sim, fired));
+  sim.at(ns(1000), [&] { ++fired; });
+  sim.runUntil(ns(35));
+  EXPECT_EQ(fired, 3);
+  EXPECT_GT(sim.now(), 0);
+  EXPECT_FALSE(sim.empty());
+
+  std::size_t discarded = sim.reset();
+  EXPECT_GE(discarded, 2u) << "pending event + live root";
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.liveRoots(), 0u);
+  EXPECT_EQ(sim.eventsProcessed(), 0u);
+
+  // Discarded work must never fire after the reset.
+  sim.run();
+  EXPECT_EQ(fired, 3);
+
+  // The reset kernel replays a schedule bit-identically to a fresh one:
+  // same event count, same final clock, and a second reset reports clean.
+  auto replay = [](Simulator& s) {
+    int n = 0;
+    auto t = [](Simulator& sm, int& k) -> Task {
+      for (int i = 0; i < 5; ++i) {
+        co_await sm.delay(ns(7));
+        ++k;
+      }
+    };
+    s.spawn(t(s, n));
+    std::uint64_t events = s.run();
+    return std::tuple{n, events, s.now()};
+  };
+  auto fromReset = replay(sim);
+  EXPECT_EQ(sim.reset(), 0u) << "drained run left the arena dirty";
+  Simulator fresh;
+  EXPECT_EQ(fromReset, replay(fresh));
+}
+
 TEST(Simulator, RootsAreReapedIncrementally) {
   // Completed root frames must not pile up until the queue drains: with
   // thousands of short tasks alive at once, liveRoots() shrinks mid-run.

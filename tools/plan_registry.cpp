@@ -18,37 +18,13 @@ std::string shapeStr(const util::TorusShape& s) {
          "x" + std::to_string(s.extent(2));
 }
 
-md::AntonMdConfig quickstartConfig() {
-  md::AntonMdConfig cfg;
-  cfg.force.cutoff = 2.2;
-  cfg.ewald.grid = 16;
-  cfg.thermostatTau = 0.05;
-  cfg.homeBoxMarginFrac = 0.10;
-  cfg.recoveryTimeoutUs = 5000;  // arm RecoverableCountedWrite on the waits
-  cfg.recoveryMaxResends = 6;
-  return cfg;
-}
-
 md::AntonMdConfig table3Config() {
-  md::AntonMdConfig cfg = quickstartConfig();
+  md::AntonMdConfig cfg = quickstartMdConfig();
   cfg.force.cutoff = 2.6;
   cfg.ewald.grid = 32;
   cfg.homeBoxMarginFrac = 0.08;  // Table 3 bench configuration
   cfg.migrationInterval = 100;
   return cfg;
-}
-
-verify::CommPlan mdPlan(const std::string& name, util::TorusShape shape,
-                        int atoms, md::AntonMdConfig cfg) {
-  sim::Simulator sim;
-  net::Machine machine(sim, shape);
-  md::SyntheticSystemParams sp;
-  sp.targetAtoms = atoms;
-  sp.seed = 2010;
-  md::AntonMdApp app(machine, md::buildSyntheticSystem(sp), cfg);
-  verify::CommPlan p = app.extractCommPlan();
-  p.name = name;
-  return p;
 }
 
 /// Shipped standalone subsystems are armed the way the MD app arms them
@@ -179,6 +155,30 @@ bool parseShapeSuffix(const std::string& s, util::TorusShape* out) {
 
 }  // namespace
 
+md::AntonMdConfig quickstartMdConfig() {
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.thermostatTau = 0.05;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.recoveryTimeoutUs = 5000;  // arm RecoverableCountedWrite on the waits
+  cfg.recoveryMaxResends = 6;
+  return cfg;
+}
+
+verify::CommPlan buildMdPlan(const std::string& name, util::TorusShape shape,
+                             int atoms, const md::AntonMdConfig& cfg) {
+  sim::Simulator sim;
+  net::Machine machine(sim, shape);
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = atoms;
+  sp.seed = 2010;
+  md::AntonMdApp app(machine, md::buildSyntheticSystem(sp), cfg);
+  verify::CommPlan p = app.extractCommPlan();
+  p.name = name;
+  return p;
+}
+
 std::vector<std::string> goldenPlanNames() {
   return {"fig5-ping", "table2-allreduce-2x2x2", "cluster-allreduce-16",
           "fft-pair-2x2x2", "quickstart-md", "md-4x4x1"};
@@ -186,14 +186,14 @@ std::vector<std::string> goldenPlanNames() {
 
 verify::CommPlan buildNamedPlan(const std::string& name) {
   if (name == "quickstart-md")
-    return mdPlan(name, {4, 4, 4}, 1536, quickstartConfig());
+    return buildMdPlan(name, {4, 4, 4}, 1536, quickstartMdConfig());
   if (name == "md-4x4x1")
     // Degenerate torus with a traffic-carrying extent-1 dimension: the shape
     // that used to break the half-shell import accounting (ISSUE 5
     // satellite). Golden so the reduced-offset dedup stays pinned.
-    return mdPlan(name, {4, 4, 1}, 1536, quickstartConfig());
+    return buildMdPlan(name, {4, 4, 1}, 1536, quickstartMdConfig());
   if (name == "table3-md-8x8x8")
-    return mdPlan(name, {8, 8, 8}, 23558, table3Config());
+    return buildMdPlan(name, {8, 8, 8}, 23558, table3Config());
   if (name == "fig5-ping") return fig5Plan();
   if (name == "fft-pair-2x2x2") return fftPairPlan();
   const std::string arPrefix = "table2-allreduce-";

@@ -11,12 +11,26 @@
 #include <string>
 #include <vector>
 
+#include "md/anton_app.hpp"
 #include "verify/plan.hpp"
 
 namespace anton::tools {
 
 /// The plans committed as golden snapshots under tests/golden_plans/.
 std::vector<std::string> goldenPlanNames();
+
+/// The quickstart MD configuration (recovery armed, quickstart physics).
+/// THE shared config: the "quickstart-md" golden plan, the quickstart
+/// example and the serve quickstart-md job family all build from it, so
+/// there is exactly one place the configuration can drift.
+md::AntonMdConfig quickstartMdConfig();
+
+/// Extract the static communication plan of an MD app with the given
+/// decomposition (shape/atoms) and configuration, named `name`. The
+/// parametric form of the fixed "quickstart-md"/"md-4x4x1" registry
+/// entries, used by serve jobs whose specs override shape or atom count.
+verify::CommPlan buildMdPlan(const std::string& name, util::TorusShape shape,
+                             int atoms, const md::AntonMdConfig& cfg);
 
 /// Build a shipped plan by name. Fixed names: "quickstart-md", "md-4x4x1",
 /// "table3-md-8x8x8", "fig5-ping", "fft-pair-2x2x2".

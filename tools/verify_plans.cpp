@@ -390,6 +390,17 @@ int runDiff(const std::string& a, const std::string& b) {
   return 1;
 }
 
+/// --plan-keys: one "<name> <planKeyHex>" line per shipped golden plan.
+/// The hex is verify::planKey over the canonical snapshot bytes — the same
+/// stable identity the serve cache folds into its job keys, pinned as
+/// constants by golden_plan_test.
+int runPlanKeys() {
+  for (const std::string& name : tools::goldenPlanNames())
+    std::cout << name << " "
+              << verify::planKeyHex(tools::buildNamedPlan(name)) << "\n";
+  return 0;
+}
+
 int runDump(const std::string& dir) {
   std::filesystem::create_directories(dir);
   for (const std::string& name : tools::goldenPlanNames()) {
@@ -424,13 +435,14 @@ int main(int argc, char** argv) {
         }
         return runDump(argv[i + 1]);
       }
+      if (std::strcmp(argv[i], "--plan-keys") == 0) return runPlanKeys();
       if (std::strcmp(argv[i], "--fast") == 0) {
         fast = true;
       } else if (std::strcmp(argv[i], "--selftest-only") == 0) {
         selftestOnly = true;
       } else {
         std::cerr << "usage: verify_plans [--fast] [--selftest-only] "
-                     "[--dump-plans DIR] [--diff A B]\n";
+                     "[--dump-plans DIR] [--diff A B] [--plan-keys]\n";
         return 2;
       }
     }
