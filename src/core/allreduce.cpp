@@ -16,8 +16,7 @@ int maxExtent(const util::TorusShape& s) {
   return std::max({s.nx, s.ny, s.nz});
 }
 
-std::shared_ptr<const std::vector<std::byte>> packDoubles(
-    std::span<const double> xs) {
+net::PayloadPtr packDoubles(std::span<const double> xs) {
   if (xs.empty()) return nullptr;
   return net::makePayload(xs.data(), xs.size() * sizeof(double));
 }

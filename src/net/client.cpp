@@ -61,14 +61,24 @@ bool NetworkClient::cancelCounterWaiter(int id, std::uint64_t token) {
 }
 
 std::map<int, std::uint64_t> NetworkClient::counterSources(int id) const {
-  auto it = srcTally_.find(id);
-  return it != srcTally_.end() ? it->second : std::map<int, std::uint64_t>{};
+  std::map<int, std::uint64_t> out;
+  for (const auto& [key, n] : srcTally_)
+    if ((key >> 32) == std::uint64_t(std::uint32_t(id)))
+      out[int(std::uint32_t(key))] = n;
+  return out;
 }
 
 void NetworkClient::bumpCounter(int id, sim::Time /*now*/, int srcNode) {
   SyncCounter& c = counters_[std::size_t(id)];
   ++c.value;
-  if (srcNode >= 0) ++srcTally_[id][srcNode];
+  if (srcNode >= 0) {
+    std::uint64_t key = tallyKey(id, srcNode);
+    if (lastTallyCell_ == nullptr || key != lastTallyKey_) {
+      lastTallyCell_ = &srcTally_[key];
+      lastTallyKey_ = key;
+    }
+    ++*lastTallyCell_;
+  }
   // Wake every poller whose threshold is now met; each resumes after the
   // polling latency of this client's counter bank.
   for (auto it = c.waiters.begin(); it != c.waiters.end();) {
@@ -102,7 +112,7 @@ void NetworkClient::deliver(const PacketPtr& p) {
 PacketPtr NetworkClient::post(const SendArgs& args) {
   if (!canSend())
     throw std::logic_error("this client type cannot inject packets");
-  auto p = std::make_shared<Packet>();
+  PacketPtr p = allocatePacket();
   p->type = args.type;
   p->src = addr_;
   p->dst = args.dst;

@@ -16,6 +16,7 @@
 #include <map>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -139,7 +140,7 @@ class NetworkClient {
     std::uint32_t address = 0;
     bool inOrder = false;
     bool degradedRoute = false;  ///< replay: route around marked-failed links
-    std::shared_ptr<const std::vector<std::byte>> payload;
+    PayloadPtr payload;
   };
 
   /// Fire-and-forget injection at the current simulated time (assembly time
@@ -163,9 +164,18 @@ class NetworkClient {
   std::vector<std::byte> mem_;
   std::vector<SyncCounter> counters_;
   std::uint64_t waiterSeq_ = 0;  ///< cancellation-token source (0 reserved)
-  /// Per-counter source tally (counter id -> source node -> packets),
-  /// maintained from the first counted delivery onward.
-  std::map<int, std::map<int, std::uint64_t>> srcTally_;
+  /// Per-(counter, source-node) arrival tally, maintained from the first
+  /// counted delivery onward. Flattened to one hash map keyed by
+  /// (id << 32 | node): the bump is on the delivery hot path (plus a
+  /// last-cell memo for same-source streams — mapped references are
+  /// node-stable, so the memo survives rehashing); the per-counter view the
+  /// watchdogs read is assembled on demand in counterSources().
+  static std::uint64_t tallyKey(int id, int srcNode) {
+    return (std::uint64_t(std::uint32_t(id)) << 32) | std::uint32_t(srcNode);
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> srcTally_;
+  std::uint64_t lastTallyKey_ = 0;
+  std::uint64_t* lastTallyCell_ = nullptr;
 };
 
 /// A processing slice: one Tensilica core plus two geometry cores. Programs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "trace/activity.hpp"
+#include "util/hotpath.hpp"
 
 namespace anton::net {
 
@@ -27,6 +28,7 @@ Machine::Machine(sim::Simulator& sim, util::TorusShape shape, MachineConfig cfg)
   }
   links_.resize(std::size_t(shape.size()) * 6);
   failedLinks_.assign(std::size_t(shape.size()) * 6, 0);
+  batchDrains_ = util::hotPath().batchDrains;
 }
 
 void Machine::setTrace(trace::ActivityTrace* t) {
@@ -62,6 +64,10 @@ void Machine::inject(const PacketPtr& p) {
     throw std::out_of_range("bad multicast pattern id");
   p->injectedAt = sim_.now();
   p->routeSalt = saltSeq_++;
+  // Replays hand back the same Packet object (e.g. a registry-held pointer
+  // re-injected directly): clear the tail lag the first transit left behind,
+  // or a 0-hop replay would charge a wire serialization it never pays.
+  p->tailLag = 0;
   ++stats_.packetsInjected;
 
   Node& src = node(p->src.node);
@@ -238,9 +244,62 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
   int entryAdapterRouter =
       lat.ring.adapterRouter[std::size_t(RingLayout::adapterIndex(dim, -sign))];
   sim::Time atRing = headArrive + lat.adapter();
-  sim_.at(atRing, [this, p, nextIdx, entryAdapterRouter, dim, sign, atRing] {
-    routeFrom(p, nextIdx, entryAdapterRouter, dim, sign, atRing);
-  });
+  if (batchDrains_) {
+    // Reserve the event sequence number here — the exact point where the
+    // unbatched path consumes one — so batched and legacy runs share a
+    // bit-identical (time, seq) event schedule. The arrival parks on the
+    // link's pending queue; at most one drain event sits in the kernel per
+    // link regardless of how many packets are in flight on it.
+    l.pending.push_back({p, atRing, sim_.reserveSeq()});
+    if (!l.drainScheduled)
+      scheduleDrain(std::size_t(nodeIdx) * 6 + std::size_t(adapterIdx));
+  } else {
+    sim_.at(atRing, [this, p, nextIdx, entryAdapterRouter, dim, sign, atRing] {
+      routeFrom(p, nextIdx, entryAdapterRouter, dim, sign, atRing);
+    });
+  }
+}
+
+void Machine::scheduleDrain(std::size_t li) {
+  Link& l = links_[li];
+  const Arrival& head = l.pending[l.pendingHead];
+  l.drainScheduled = true;
+  sim_.atReserved(head.atRing, head.seq, [this, li] { drainLink(li); });
+}
+
+void Machine::drainLink(std::size_t li) {
+  Link& l = links_[li];
+  const int nodeIdx = int(li / 6);
+  const int a = int(li % 6);
+  const int dim = a / 2;
+  const int sign = (a % 2 == 0) ? +1 : -1;
+  const LatencyConfig& lat = cfg_.latency;
+  const int entryAdapterRouter =
+      lat.ring.adapterRouter[std::size_t(RingLayout::adapterIndex(dim, -sign))];
+  util::TorusCoord nc =
+      torusNeighbor(util::torusCoordOf(nodeIdx, shape_), dim, sign, shape_);
+  const int nextIdx = util::torusIndex(nc, shape_);
+
+  // Route exactly the head arrival, then re-arm for the next one at its own
+  // reserved (time, seq) slot. Per-link head-arrival times are strictly
+  // monotonic (busyUntil advances by at least one serialization per
+  // traversal), so there is never a second same-time arrival to fold in —
+  // and unrelated events interleave between two arrivals exactly as they
+  // would between the per-traversal events of the unbatched path.
+  // drainScheduled stays true across routeFrom so a multicast loop that
+  // lands back on this link cannot double-schedule; the tail re-arm below
+  // picks any such appendee up.
+  Arrival head = std::move(l.pending[l.pendingHead]);
+  ++l.pendingHead;
+  routeFrom(head.p, nextIdx, entryAdapterRouter, dim, sign, head.atRing);
+
+  if (l.pendingHead == l.pending.size()) {
+    l.pending.clear();  // capacity retained: the queue recycles, never churns
+    l.pendingHead = 0;
+    l.drainScheduled = false;
+  } else {
+    scheduleDrain(li);
+  }
 }
 
 std::vector<ClientAddr> Machine::downstreamReceivers(const PacketPtr& p,

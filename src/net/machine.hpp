@@ -147,14 +147,38 @@ class Machine {
  private:
   friend class NetworkClient;
 
+  /// One packet parked on a link, waiting for its head to reach the far
+  /// ring. `seq` was reserved at forwarding time, so the batched drain
+  /// replays the exact (time, seq) schedule the per-arrival events had.
+  struct Arrival {
+    PacketPtr p;
+    sim::Time atRing;
+    std::uint64_t seq;
+  };
+
   struct Link {
     sim::Time busyUntil = 0;
     std::uint64_t traversals = 0;
+    // Batched drain state: arrivals are appended in (monotonic) time order
+    // and consumed front-to-back; at most one drain event is in the kernel
+    // per link, however many packets are in flight on it. The vector acts
+    // as a grow-only ring (head index + clear-on-empty), so steady-state
+    // traffic never reallocates it.
+    std::vector<Arrival> pending;
+    std::size_t pendingHead = 0;
+    bool drainScheduled = false;
   };
   Link& link(int nodeIdx, int dim, int sign) {
     return links_[std::size_t(nodeIdx) * 6 +
                   std::size_t(RingLayout::adapterIndex(dim, sign))];
   }
+
+  /// Schedule (or re-arm) the single drain event of link `li` for the
+  /// front of its pending queue.
+  void scheduleDrain(std::size_t li);
+  /// Route every pending arrival of link `li` whose time is now; re-arm
+  /// for the next one.
+  void drainLink(std::size_t li);
 
   /// Route a packet onward from a node. `entryRouter` is where the packet
   /// sits on the on-chip ring; `viaDim/viaSign` describe the link it arrived
@@ -196,6 +220,10 @@ class Machine {
   int traceFaultUnit_ = 0;
   FaultModel* fault_ = nullptr;
   bool faultReroute_ = false;
+  /// Snapshot of util::hotPath().batchDrains at construction: whether link
+  /// arrivals funnel through per-link drain events (one in the kernel per
+  /// link) or schedule one event per traversal (the legacy reference path).
+  bool batchDrains_ = true;
   DropHandler dropHandler_;
 };
 

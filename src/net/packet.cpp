@@ -5,19 +5,25 @@
 
 namespace anton::net {
 
-std::shared_ptr<const std::vector<std::byte>> makePayload(const void* data,
-                                                          std::size_t size) {
+PacketPtr allocatePacket() {
+  return std::allocate_shared<Packet>(
+      util::PoolAllocator<Packet>(packetPool()));
+}
+
+PayloadPtr makePayload(const void* data, std::size_t size) {
   if (size > kMaxPayloadBytes)
     throw std::length_error("packet payload exceeds 256 bytes");
-  auto buf = std::make_shared<std::vector<std::byte>>(size);
+  auto buf = std::allocate_shared<PayloadBuf>(
+      util::PoolAllocator<PayloadBuf>(payloadPool()), size);
   if (size != 0) std::memcpy(buf->data(), data, size);
   return buf;
 }
 
-std::shared_ptr<const std::vector<std::byte>> makeZeroPayload(std::size_t size) {
+PayloadPtr makeZeroPayload(std::size_t size) {
   if (size > kMaxPayloadBytes)
     throw std::length_error("packet payload exceeds 256 bytes");
-  return std::make_shared<std::vector<std::byte>>(size);
+  return std::allocate_shared<PayloadBuf>(
+      util::PoolAllocator<PayloadBuf>(payloadPool()), size);
 }
 
 }  // namespace anton::net

@@ -7,12 +7,13 @@
 // client's local memory — the basis of counted remote writes.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "sim/time.hpp"
+#include "util/slab_pool.hpp"
 
 namespace anton::net {
 
@@ -53,6 +54,37 @@ enum class PacketType : std::uint8_t {
   kFifo,   ///< delivered to the target slice's hardware message FIFO
 };
 
+/// Payload buffer: a fixed 256-byte slot (the wire maximum) plus its live
+/// length. Fixed-format like the hardware's packet buffers, so payloads
+/// recycle through the slab pool without per-size heap traffic; multicast
+/// replicas and recovery replays share one slot by refcount.
+class PayloadBuf {
+ public:
+  explicit PayloadBuf(std::size_t size) : size_(size) {}
+  const std::byte* data() const { return data_.data(); }
+  std::byte* data() { return data_.data(); }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_;
+  std::array<std::byte, kMaxPayloadBytes> data_{};  // zeroed on (re)construction
+};
+
+using PayloadPtr = std::shared_ptr<const PayloadBuf>;
+
+/// Slab pools behind packet and payload slots on this thread. post()/
+/// makePayload() draw refcounted slots from these; the slot returns to its
+/// freelist when the last holder (machine event, FIFO, DropRegistry replay
+/// buffer) lets go.
+inline util::SlabPool& packetPool() {
+  thread_local util::SlabPool pool("packet");
+  return pool;
+}
+inline util::SlabPool& payloadPool() {
+  thread_local util::SlabPool pool("payload");
+  return pool;
+}
+
 /// A packet in flight. Multicast replicas share the payload buffer.
 struct Packet {
   PacketType type = PacketType::kWrite;
@@ -67,7 +99,7 @@ struct Packet {
   /// original copy. Never set on first-transmission traffic, so the
   /// zero-fault path is untouched.
   bool degradedRoute = false;
-  std::shared_ptr<const std::vector<std::byte>> payload;  ///< may be null (0 B)
+  PayloadPtr payload;  ///< may be null (0 B)
 
   // --- bookkeeping filled in by the machine ---
   sim::Time injectedAt = 0;    ///< simulated injection time
@@ -86,11 +118,15 @@ struct Packet {
 
 using PacketPtr = std::shared_ptr<Packet>;
 
-/// Convenience: build a payload buffer from raw bytes.
-std::shared_ptr<const std::vector<std::byte>> makePayload(const void* data,
-                                                          std::size_t size);
+/// A fresh default-constructed packet slot from this thread's packet pool
+/// (refcount and object in one recycled slot; bookkeeping fields are
+/// re-initialized on every reuse).
+PacketPtr allocatePacket();
+
+/// Convenience: build a payload buffer from raw bytes (pooled slot).
+PayloadPtr makePayload(const void* data, std::size_t size);
 
 /// Convenience: payload of `size` zero bytes (timing-only experiments).
-std::shared_ptr<const std::vector<std::byte>> makeZeroPayload(std::size_t size);
+PayloadPtr makeZeroPayload(std::size_t size);
 
 }  // namespace anton::net

@@ -1,0 +1,121 @@
+// Slab-friendly event callback: a move-only, type-erased void() whose
+// capture lives inline in the event record.
+//
+// The kernel's hot path schedules one continuation per packet hop; storing
+// them as std::function heap-allocates every capture larger than the SBO
+// (~16 bytes — the per-hop routing continuation is ~48). EventFn gives each
+// event a fixed 64-byte inline capture slot, falling back to a heap box only
+// for oversized captures, so steady-state event scheduling never allocates.
+//
+// With util::hotPath().inlineEvents off, EventFn emulates std::function's
+// small-buffer behavior (captures above 16 bytes go to the heap) — the
+// legacy reference mode bench/kernel_throughput measures speedups against.
+// The knob changes host allocation only; invocation semantics are identical.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/hotpath.hpp"
+
+namespace anton::sim {
+
+class EventFn {
+ public:
+  /// Inline capture capacity: sized for the fattest hot-path continuation
+  /// (per-hop routing: this + PacketPtr + 4 ints + a Time) with headroom.
+  static constexpr std::size_t kInlineBytes = 64;
+  static constexpr std::size_t kInlineAlign = 16;
+  /// Capture limit emulated in legacy mode (std::function's typical SBO).
+  static constexpr std::size_t kLegacySboBytes = 16;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callback sink
+    using D = std::decay_t<F>;
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "event callbacks must be nothrow-movable");
+    constexpr bool fits =
+        sizeof(D) <= kInlineBytes && alignof(D) <= kInlineAlign;
+    if constexpr (fits) {
+      if (sizeof(D) <= kLegacySboBytes || util::hotPath().inlineEvents) {
+        ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+        ops_ = &inlineOps<D>;
+        return;
+      }
+    }
+    // Oversized capture (or legacy mode): box it on the heap.
+    ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+    ops_ = &boxedOps<D>;
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the capture into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops inlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops boxedOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) {
+        std::memcpy(dst, src, sizeof(D*));  // steal the box pointer
+      },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace anton::sim

@@ -4,23 +4,40 @@
 // make same-time ordering FIFO and the whole simulation deterministic.
 // Coroutine tasks (sim::Task) are spawned as detached roots and driven by
 // events that resume their handles.
+//
+// The hot path is allocation-free in steady state: heap entries are 24
+// trivially-copyable bytes (callbacks park in a recycled slot arena as
+// inline-capture sim::EventFn), cancellable-event flags come from a slab
+// pool, and every backing vector keeps its capacity across reset(). Callers
+// that batch same-source events (net::Machine's link drains) reserve
+// sequence numbers up front via reserveSeq()/atReserved() so batching
+// cannot perturb the (time, seq) schedule.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/slab_pool.hpp"
 
 namespace anton::sim {
 
+/// Slab pool behind cancellable-event flags (one recycled slot per
+/// EventHandle control block + flag).
+inline util::SlabPool& eventHandlePool() {
+  thread_local util::SlabPool pool("event-handle");
+  return pool;
+}
+
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
   /// Handle of a cancellable event: call cancel() (or set *handle = true) to
   /// retract it. A cancelled event is discarded without executing and —
@@ -42,6 +59,21 @@ class Simulator {
 
   /// Schedule `fn` after a relative delay (>= 0).
   void after(Time delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Reserve the next event sequence number without scheduling anything.
+  /// Paired with atReserved(), this lets a caller that coalesces several
+  /// logical events into one scheduled drain keep the exact (time, seq)
+  /// order the uncoalesced schedule would have had.
+  std::uint64_t reserveSeq() { return nextSeq_++; }
+
+  /// The next unissued sequence number (observability: atReserved() rejects
+  /// seqs at or beyond this).
+  std::uint64_t nextSeq() const { return nextSeq_; }
+
+  /// Schedule `fn` at (t, seq) where `seq` came from reserveSeq(). The
+  /// reservation point — not this call — fixes the event's FIFO rank among
+  /// same-time events.
+  void atReserved(Time t, std::uint64_t seq, Callback fn);
 
   /// Cancellable forms of at()/after() (deadline timers that may be
   /// retracted by whichever signal wins a race).
@@ -76,8 +108,11 @@ class Simulator {
   /// and processed tally restart from zero. The explicit arena-reuse audit
   /// point for workers that run many jobs on one Simulator (src/serve): a
   /// reset kernel is indistinguishable from a fresh one, so job results
-  /// cannot depend on what ran before. Returns the number of pending events
-  /// plus live roots that were discarded (0 = the arena was already clean).
+  /// cannot depend on what ran before. Returns the number of pending
+  /// *live* events plus live roots that were discarded (0 = the arena was
+  /// already clean). Cancelled events anywhere in the queue — even buried
+  /// under live ones, where purging cannot reach them — are retracted
+  /// timers, not leaked work, and never count as dirty.
   std::size_t reset();
 
   /// Awaitable for `co_await simctx.delay(...)`-style use; see delay().
@@ -96,17 +131,46 @@ class Simulator {
   DelayAwaiter delay(Time duration) { return DelayAwaiter{*this, duration}; }
 
  private:
+  /// Heap entries are deliberately trivial: the callback (and cancel flag)
+  /// live in a slot arena off to the side, so every sift during push/pop
+  /// moves 24 plain bytes instead of a type-erased capture. The heap order
+  /// is exactly (t, seq) — the slot index is payload, never a key — so the
+  /// indirection cannot perturb the schedule.
   struct Event {
     Time t;
     std::uint64_t seq;
-    Callback fn;
-    EventHandle cancelled;  ///< null for ordinary (non-cancellable) events
+    std::uint32_t slot;
   };
+  static_assert(std::is_trivially_copyable_v<Event>);
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       return a.t != b.t ? a.t > b.t : a.seq > b.seq;
     }
   };
+  /// priority_queue with access to the backing vector: reset() sweeps the
+  /// whole container (clearing keeps capacity for arena reuse), which a
+  /// plain priority_queue cannot do.
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, Later> {
+    std::vector<Event>& container() { return c; }
+    const std::vector<Event>& container() const { return c; }
+  };
+
+  /// One parked callback; recycled through freeSlots_ (LIFO), so the slot
+  /// arena stops growing once it covers the peak in-flight event count.
+  struct Slot {
+    Callback fn;
+    EventHandle cancelled;  ///< null for ordinary (non-cancellable) events
+  };
+
+  std::uint32_t parkSlot(Callback fn, EventHandle cancelled);
+  void releaseSlot(std::uint32_t idx);
+  /// Pending events that carry a cancel flag. Zero on the common path, so
+  /// purgeCancelled() can skip the per-event slot lookup entirely.
+  std::size_t liveCancellable_ = 0;
+  bool slotCancelled(std::uint32_t idx) const {
+    const EventHandle& c = slots_[idx].cancelled;
+    return c != nullptr && *c;
+  }
 
   void purgeCancelled();
   void reapRoots();
@@ -114,7 +178,9 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
   std::vector<Task> roots_;
 };
 

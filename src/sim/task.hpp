@@ -8,19 +8,39 @@
 // Task is lazily started. Awaiting a Task links the awaiter as its
 // continuation (symmetric transfer on completion). Exceptions propagate to
 // the awaiter; for detached root tasks the simulator rethrows at sweep time.
+//
+// Coroutine frames come from a thread-local slab pool: simulation programs
+// spawn short-lived tasks per superstep (sends, counted waits), and pooling
+// the frames keeps the steady-state hot path free of heap allocation.
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
+#include "util/slab_pool.hpp"
+
 namespace anton::sim {
+
+/// Slab pool behind every sim::Task coroutine frame on this thread.
+inline util::SlabPool& taskFramePool() {
+  thread_local util::SlabPool pool("task-frame");
+  return pool;
+}
 
 class [[nodiscard]] Task {
  public:
   struct promise_type {
     std::coroutine_handle<> continuation;  // awaiter to resume on completion
     std::exception_ptr exception;
+
+    /// Frames are slab-allocated (recycled per size class); oversized
+    /// frames fall back to the heap inside the pool.
+    static void* operator new(std::size_t n) { return taskFramePool().alloc(n); }
+    static void operator delete(void* p, std::size_t) noexcept {
+      taskFramePool().free(p);
+    }
 
     Task get_return_object() {
       return Task{std::coroutine_handle<promise_type>::from_promise(*this)};

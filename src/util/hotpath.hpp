@@ -1,0 +1,58 @@
+// Hot-path mode switches for the zero-allocation event kernel.
+//
+// The paper's 162 ns path never touches an allocator: packet counts are
+// pre-known, formats fixed, fan-out in hardware (SC10 §III). The simulator's
+// equivalent discipline is slab pools for packets/payloads/frames/handles,
+// inline (non-allocating) event-callback storage, and batched per-link
+// arrival drains. Each of those behaviors can be switched off per thread to
+// recover the legacy heap-allocating path — used by determinism_test (the
+// pooled kernel must stay bit-identical to the legacy one) and by
+// bench/kernel_throughput (honest pooled-vs-legacy speedup measured in one
+// process). The knobs alter only *host* allocation behavior, never the
+// simulated schedule; batching preserves the exact (time, seq) event order
+// by reserving sequence numbers at the legacy schedule points.
+//
+// Thread-local on purpose: the serve layer runs one simulation per worker
+// thread, and pools/knobs must never be shared across arenas.
+#pragma once
+
+namespace anton::util {
+
+struct HotPathConfig {
+  /// Slab pools for packets, payload buffers, coroutine frames and
+  /// cancellable-event handles (off = plain operator new, the seed path).
+  bool pools = true;
+  /// Inline event-callback storage in the kernel's event records (off =
+  /// emulate std::function's 16-byte SBO: larger captures go to the heap,
+  /// one allocation per scheduled event, the seed path).
+  bool inlineEvents = true;
+  /// Per-link batched arrival drains in net::Machine (off = one scheduled
+  /// continuation per link traversal, the seed path). Snapshot at Machine
+  /// construction.
+  bool batchDrains = true;
+
+  void setAll(bool on) { pools = inlineEvents = batchDrains = on; }
+};
+
+/// This thread's hot-path knobs (default: everything on).
+inline HotPathConfig& hotPath() {
+  thread_local HotPathConfig cfg;
+  return cfg;
+}
+
+/// RAII: flip every knob for a scope (tests and benches).
+class ScopedHotPath {
+ public:
+  explicit ScopedHotPath(bool on) : saved_(hotPath()) { hotPath().setAll(on); }
+  explicit ScopedHotPath(HotPathConfig cfg) : saved_(hotPath()) {
+    hotPath() = cfg;
+  }
+  ~ScopedHotPath() { hotPath() = saved_; }
+  ScopedHotPath(const ScopedHotPath&) = delete;
+  ScopedHotPath& operator=(const ScopedHotPath&) = delete;
+
+ private:
+  HotPathConfig saved_;
+};
+
+}  // namespace anton::util

@@ -1,0 +1,183 @@
+// Slab/freelist memory pools for the zero-allocation hot path.
+//
+// A SlabPool serves fixed-granularity slots out of bump-carved slabs (the
+// same discipline core/arena.hpp applies to client memories: carve up front,
+// never give back) and recycles freed slots through per-size-class
+// freelists. Once the working set has been touched, every alloc/free is a
+// pointer pop/push — no malloc, ever — which is what lets the event kernel
+// run packets, payload buffers, coroutine frames and cancellable-event
+// handles without touching the host allocator (ndn-dpdk's DPDK mempool
+// idiom, applied to simulated packets).
+//
+// Every block carries a 16-byte header tagging its origin (pool bucket or
+// heap fallback), so allocation and release stay correct even when the
+// pooling knob (util::hotPath().pools) is flipped between the two.
+// Oversized requests (> kMaxSlotBytes) always fall back to the heap.
+//
+// SlabPools are intentionally NOT thread-safe: each simulation arena (and
+// its serve worker thread) owns its own thread-local pools. Slots must be
+// released on the thread that allocated them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/hotpath.hpp"
+
+namespace anton::util {
+
+/// Monotonic counters plus live-slot gauges of one SlabPool.
+struct SlabPoolStats {
+  std::uint64_t poolAllocs = 0;   ///< slots served from a slab or freelist
+  std::uint64_t poolFrees = 0;    ///< slots pushed back onto a freelist
+  std::uint64_t heapAllocs = 0;   ///< heap fallbacks (oversized or pooling off)
+  std::uint64_t heapFrees = 0;
+  std::uint64_t slabBytes = 0;    ///< total slab memory carved so far
+  std::size_t live = 0;           ///< pool slots currently outstanding
+  std::size_t liveHighWater = 0;  ///< peak of `live`
+};
+
+class SlabPool {
+ public:
+  /// Slot sizes are rounded up to multiples of this granule.
+  static constexpr std::size_t kGranule = 64;
+  /// Requests above this size always come from the heap (the "oversized
+  /// capture" escape hatch; nothing on the hot path should hit it).
+  static constexpr std::size_t kMaxSlotBytes = 4096;
+  /// Slabs are carved in chunks of this many bytes.
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  /// `maxBytes` bounds total slab memory; exhausting it is a loud
+  /// std::runtime_error naming the pool, never UB. The default is generous —
+  /// a 4096-node sweep's in-flight packets fit with room to spare.
+  explicit SlabPool(std::string name, std::size_t maxBytes = 256 << 20)
+      : name_(std::move(name)), maxBytes_(maxBytes) {}
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Allocate `bytes` (aligned for any ordinary type). Pool slot when the
+  /// pooling knob is on and the size fits a bucket; tagged heap otherwise.
+  void* alloc(std::size_t bytes) {
+    if (!hotPath().pools || bytes > kMaxSlotBytes) return heapAlloc(bytes);
+    std::size_t bucket = (bytes + kGranule - 1) / kGranule;  // >= 1
+    if (FreeNode* n = freelists_[bucket]) {
+      freelists_[bucket] = n->next;
+      ++stats_.poolAllocs;
+      bump();
+      return tag(n, std::uint32_t(bucket));
+    }
+    std::size_t need = kHeaderBytes + bucket * kGranule;
+    if (cursorLeft_ < need) carveSlab(need);
+    std::byte* p = cursor_;
+    cursor_ += need;
+    cursorLeft_ -= need;
+    ++stats_.poolAllocs;
+    bump();
+    return tag(p, std::uint32_t(bucket));
+  }
+
+  /// Release a block previously returned by alloc() on this thread. The
+  /// header routes it back to its freelist bucket (or the heap).
+  void free(void* p) noexcept {
+    auto* h = reinterpret_cast<Header*>(static_cast<std::byte*>(p) -
+                                        kHeaderBytes);
+    if (h->bucket == kHeapBucket) {
+      ++stats_.heapFrees;
+      ::operator delete(static_cast<void*>(h));
+      return;
+    }
+    auto* n = reinterpret_cast<FreeNode*>(h);
+    n->next = freelists_[h->bucket];
+    freelists_[h->bucket] = n;
+    ++stats_.poolFrees;
+    --stats_.live;
+  }
+
+  const SlabPoolStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  /// Shrink (or raise) the slab-memory budget; carving past it throws.
+  void setMaxBytes(std::size_t maxBytes) { maxBytes_ = maxBytes; }
+  std::size_t maxBytes() const { return maxBytes_; }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 16;  // keeps payloads 16-aligned
+  static constexpr std::uint32_t kHeapBucket = 0xffffffffu;
+  struct Header {
+    std::uint32_t bucket;
+  };
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  void* tag(void* block, std::uint32_t bucket) {
+    reinterpret_cast<Header*>(block)->bucket = bucket;
+    return static_cast<std::byte*>(block) + kHeaderBytes;
+  }
+
+  void* heapAlloc(std::size_t bytes) {
+    void* block = ::operator new(kHeaderBytes + bytes);
+    ++stats_.heapAllocs;
+    return tag(block, kHeapBucket);
+  }
+
+  void bump() {
+    ++stats_.live;
+    if (stats_.live > stats_.liveHighWater) stats_.liveHighWater = stats_.live;
+  }
+
+  void carveSlab(std::size_t need) {
+    std::size_t bytes = need > kSlabBytes ? need : kSlabBytes;
+    if (stats_.slabBytes + bytes > maxBytes_)
+      throw std::runtime_error("SlabPool '" + name_ + "' exhausted: " +
+                               std::to_string(stats_.slabBytes + bytes) +
+                               " bytes would exceed the " +
+                               std::to_string(maxBytes_) + "-byte budget (" +
+                               std::to_string(stats_.live) + " slots live)");
+    slabs_.push_back(std::make_unique<std::byte[]>(bytes));
+    stats_.slabBytes += bytes;
+    cursor_ = slabs_.back().get();
+    cursorLeft_ = bytes;
+  }
+
+  std::string name_;
+  std::size_t maxBytes_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::byte* cursor_ = nullptr;
+  std::size_t cursorLeft_ = 0;
+  // freelists_[b] chains free slots of bucket b (b * kGranule payload bytes).
+  FreeNode* freelists_[kMaxSlotBytes / kGranule + 1] = {};
+  SlabPoolStats stats_;
+};
+
+/// Minimal std allocator over a SlabPool, for std::allocate_shared — the
+/// control block and the object land in one recycled slot, so a pooled
+/// shared_ptr is a refcounted slot with zero heap traffic.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  explicit PoolAllocator(SlabPool& pool) noexcept : pool(&pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& o) noexcept : pool(o.pool) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool->alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { pool->free(p); }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& o) const noexcept {
+    return pool == o.pool;
+  }
+
+  SlabPool* pool;
+};
+
+}  // namespace anton::util

@@ -14,6 +14,8 @@
 #include "net/machine.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "trace/activity.hpp"
+#include "util/hotpath.hpp"
 
 namespace anton {
 namespace {
@@ -102,6 +104,74 @@ TEST(Determinism, FaultyRunsReproduceUnderTheSameSeed) {
   // Faults must have perturbed timing relative to the clean run.
   RunResult clean = trafficStorm(7, nullptr);
   EXPECT_NE(a.finalTime, clean.finalTime);
+}
+
+TEST(Determinism, PooledHotPathIsBitIdenticalToTheLegacyKernel) {
+  // The zero-allocation machinery (slab pools, inline event storage,
+  // batched link drains) is host-side only: flipping every knob off —
+  // recovering the seed's heap-allocating, event-per-traversal kernel —
+  // must leave stats, memories, counters, the final clock AND the full
+  // activity trace (every link busy window, in emission order) bitwise
+  // unchanged.
+  auto storm = [](bool hot) {
+    util::ScopedHotPath scoped(hot);
+    sim::Simulator sim;
+    net::Machine m(sim, {4, 4, 4});
+    trace::ActivityTrace tr;
+    m.setTrace(&tr);
+    sim::Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+      int srcNode = int(rng.below(std::uint64_t(m.numNodes())));
+      int srcClient = int(rng.below(4));
+      net::NetworkClient::SendArgs args;
+      args.dst = {int(rng.below(std::uint64_t(m.numNodes()))),
+                  int(rng.below(4))};
+      args.counterId = int(rng.below(4));
+      args.address = std::uint32_t(rng.below(1024)) * 16;
+      std::size_t bytes = std::size_t(rng.below(32)) * 8;
+      if (bytes != 0) args.payload = net::makeZeroPayload(bytes);
+      m.client({srcNode, srcClient}).post(args);
+    }
+    sim.run();
+    return std::tuple{m.stats(), machineDigest(m), sim.now(), tr.csv()};
+  };
+  EXPECT_EQ(storm(true), storm(false));
+}
+
+TEST(Determinism, MdPositionsMatchBetweenPooledAndLegacyHotPaths) {
+  // End-to-end: three MD supersteps (forces, FFT, migration, all-reduce)
+  // under the pooled kernel reproduce the legacy trajectory exactly.
+  md::SyntheticSystemParams sp;
+  sp.targetAtoms = 1536;
+  sp.temperature = 0.8;
+  sp.seed = 11;
+  md::MDSystem sys = md::buildSyntheticSystem(sp);
+  md::AntonMdConfig cfg;
+  cfg.force.cutoff = 2.2;
+  cfg.ewald.grid = 16;
+  cfg.homeBoxMarginFrac = 0.10;
+  cfg.migrationInterval = 2;
+  cfg.longRangeInterval = 2;
+
+  auto run = [&](bool hot) {
+    util::ScopedHotPath scoped(hot);
+    sim::Simulator sim;
+    net::Machine m(sim, {4, 4, 4});
+    md::AntonMdApp app(m, sys, cfg);
+    app.runSteps(3);
+    return std::pair{app.gatherSystem(), sim.now()};
+  };
+  auto [pooled, pooledTime] = run(true);
+  auto [legacy, legacyTime] = run(false);
+
+  EXPECT_EQ(pooledTime, legacyTime);
+  ASSERT_EQ(pooled.numAtoms(), legacy.numAtoms());
+  for (int i = 0; i < pooled.numAtoms(); ++i) {
+    EXPECT_EQ(pooled.positions[std::size_t(i)],
+              legacy.positions[std::size_t(i)]);
+    EXPECT_EQ(pooled.velocities[std::size_t(i)],
+              legacy.velocities[std::size_t(i)]);
+  }
 }
 
 TEST(Determinism, MdPositionsBitIdenticalWithZeroFaultPlan) {

@@ -1,0 +1,251 @@
+// Pool-layer coverage for the zero-allocation hot path: slab exhaustion is
+// a loud error (never UB), recycled slots come back with fresh bookkeeping,
+// multicast replicas share one refcounted payload slot, and blocks survive
+// the pooling knob flipping between heap and slab origins.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "net/packet.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/hotpath.hpp"
+#include "util/slab_pool.hpp"
+
+namespace anton {
+namespace {
+
+using util::ScopedHotPath;
+using util::SlabPool;
+
+TEST(SlabPool, ServesAndRecyclesSlots) {
+  ScopedHotPath hot(true);
+  SlabPool pool("t");
+  void* a = pool.alloc(48);
+  void* b = pool.alloc(48);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.stats().poolAllocs, 2u);
+  EXPECT_EQ(pool.stats().live, 2u);
+
+  pool.free(b);
+  EXPECT_EQ(pool.stats().live, 1u);
+  // Freelists are LIFO per size class: the next same-bucket request reuses
+  // the slot just released, with zero new slab consumption.
+  std::uint64_t carved = pool.stats().slabBytes;
+  void* b2 = pool.alloc(40);  // same 64-byte bucket as the 48-byte slot
+  EXPECT_EQ(b2, b);
+  EXPECT_EQ(pool.stats().slabBytes, carved);
+  EXPECT_EQ(pool.stats().liveHighWater, 2u);
+  pool.free(b2);
+  pool.free(a);
+  EXPECT_EQ(pool.stats().live, 0u);
+}
+
+TEST(SlabPool, ExhaustionIsALoudErrorNamingThePool) {
+  ScopedHotPath hot(true);
+  SlabPool pool("tiny-budget", /*maxBytes=*/1024);
+  try {
+    pool.alloc(64);  // the first slab carve (64 KiB) already busts 1 KiB
+    FAIL() << "exhausted pool must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("tiny-budget"), std::string::npos)
+        << "the error must name the pool: " << e.what();
+  }
+  // A raised budget recovers the pool; nothing was corrupted by the throw.
+  pool.setMaxBytes(1 << 20);
+  void* p = pool.alloc(64);
+  ASSERT_NE(p, nullptr);
+  pool.free(p);
+}
+
+TEST(SlabPool, OversizedRequestsAndDisabledPoolingFallBackToTheHeap) {
+  SlabPool pool("t");
+  {
+    ScopedHotPath hot(true);
+    void* big = pool.alloc(SlabPool::kMaxSlotBytes + 1);
+    EXPECT_EQ(pool.stats().heapAllocs, 1u);
+    EXPECT_EQ(pool.stats().poolAllocs, 0u);
+    pool.free(big);
+    EXPECT_EQ(pool.stats().heapFrees, 1u);
+  }
+  {
+    ScopedHotPath hot(false);
+    void* p = pool.alloc(64);
+    EXPECT_EQ(pool.stats().heapAllocs, 2u);
+    pool.free(p);
+    EXPECT_EQ(pool.stats().heapFrees, 2u);
+  }
+  EXPECT_EQ(pool.stats().slabBytes, 0u) << "no slab was ever carved";
+}
+
+TEST(SlabPool, BlocksSurviveThePoolingKnobFlippingBetweenAllocAndFree) {
+  // Origin is tagged in the block header, so a block allocated under one
+  // knob setting is released correctly under the other.
+  SlabPool pool("t");
+  void* heapBorn;
+  void* poolBorn;
+  {
+    ScopedHotPath off(false);
+    heapBorn = pool.alloc(64);
+  }
+  {
+    ScopedHotPath on(true);
+    poolBorn = pool.alloc(64);
+    pool.free(heapBorn);  // heap-tagged: must go back to operator delete
+    EXPECT_EQ(pool.stats().heapFrees, 1u);
+    EXPECT_EQ(pool.stats().poolFrees, 0u);
+  }
+  {
+    ScopedHotPath off(false);
+    pool.free(poolBorn);  // pool-tagged: must go back to its freelist
+    EXPECT_EQ(pool.stats().poolFrees, 1u);
+    EXPECT_EQ(pool.stats().live, 0u);
+  }
+}
+
+TEST(PacketPool, RecycledPacketSlotComesBackWithFreshBookkeeping) {
+  ScopedHotPath hot(true);
+  net::PacketPtr p = net::allocatePacket();
+  p->counterId = 7;
+  p->address = 0xabcd;
+  p->inOrder = true;
+  p->injectedAt = sim::ns(123);
+  p->tailLag = sim::ns(9);
+  p->routeSalt = 42;
+  p->payload = net::makeZeroPayload(64);
+  const void* slot = p.get();
+  p.reset();  // back to the freelist
+
+  net::PacketPtr q = net::allocatePacket();
+  EXPECT_EQ(static_cast<const void*>(q.get()), slot)
+      << "the freed slot was not recycled";
+  EXPECT_EQ(q->counterId, net::kNoCounter);
+  EXPECT_EQ(q->address, 0u);
+  EXPECT_FALSE(q->inOrder);
+  EXPECT_EQ(q->injectedAt, 0);
+  EXPECT_EQ(q->tailLag, 0);
+  EXPECT_EQ(q->routeSalt, 0u);
+  EXPECT_EQ(q->payload, nullptr);
+}
+
+TEST(PacketPool, RecycledPayloadSlotIsRezeroed) {
+  ScopedHotPath hot(true);
+  std::vector<std::byte> junk(net::kMaxPayloadBytes, std::byte{0xff});
+  net::PayloadPtr a = net::makePayload(junk.data(), junk.size());
+  const void* slot = a.get();
+  a.reset();
+  // A zero payload reusing the same slot must not see the old bytes.
+  net::PayloadPtr b = net::makeZeroPayload(net::kMaxPayloadBytes);
+  EXPECT_EQ(static_cast<const void*>(b.get()), slot);
+  for (std::size_t i = 0; i < b->size(); ++i)
+    ASSERT_EQ(b->data()[i], std::byte{0}) << "stale byte at " << i;
+}
+
+TEST(PacketPool, MulticastReplicasShareOnePayloadSlot) {
+  ScopedHotPath hot(true);
+  sim::Simulator sim;
+  net::Machine m(sim, {2, 2, 1});
+  // Local fan-out to three slices plus one link hop to the +x neighbor,
+  // which delivers to its slice 0.
+  net::MulticastEntry root;
+  root.clientMask = (1u << net::kSlice0) | (1u << net::kSlice1) |
+                    (1u << net::kSlice2);
+  root.linkMask = 1u << 0;  // +x
+  m.setMulticastPattern(0, 0, root);
+  net::MulticastEntry leaf;
+  leaf.clientMask = 1u << net::kSlice0;
+  m.setMulticastPattern(1, 0, leaf);
+
+  std::size_t liveBefore = net::payloadPool().stats().live;
+  std::uint64_t value = 0x1122334455667788ull;
+  net::NetworkClient::SendArgs args;
+  args.type = net::PacketType::kFifo;
+  args.multicastPattern = 0;
+  args.payload = net::makePayload(&value, sizeof value);
+  m.client({0, net::kSlice3}).post(args);
+  sim.run();
+
+  // Four FIFO deliveries, all holding the same payload slot: exactly one
+  // payload slot is live beyond the baseline, however wide the fan-out.
+  std::vector<net::PacketPtr> got;
+  for (int node : {0, 0, 0, 1}) {
+    static int sliceOf[] = {net::kSlice0, net::kSlice1, net::kSlice2,
+                            net::kSlice0};
+    net::PacketPtr p = m.slice(node, sliceOf[got.size()]).pollFifo();
+    ASSERT_NE(p, nullptr);
+    got.push_back(std::move(p));
+  }
+  EXPECT_EQ(net::payloadPool().stats().live, liveBefore + 1);
+  for (const net::PacketPtr& p : got) {
+    EXPECT_EQ(p->payload, got[0]->payload) << "replicas must share the slot";
+    EXPECT_EQ(0, std::memcmp(p->payload->data(), &value, sizeof value));
+  }
+  got.clear();
+  args.payload = nullptr;  // the send-args copy was the last off-fabric ref
+  EXPECT_EQ(net::payloadPool().stats().live, liveBefore)
+      << "the shared slot must return once the last replica lets go";
+}
+
+TEST(EventFn, LargeCapturesStayInlineWhenTheKnobIsOnAndWorkBoxed) {
+  // Behavior (invocation, moves, destruction) is identical in both modes;
+  // only the storage strategy differs.
+  struct Big {
+    int pad[12] = {};  // 48 bytes: over the legacy SBO, under kInlineBytes
+    int* hits;
+    void operator()() const { ++*hits; }
+  };
+  for (bool knob : {true, false}) {
+    ScopedHotPath hot(knob);
+    int hits = 0;
+    sim::EventFn fn(Big{{}, &hits});
+    sim::EventFn moved(std::move(fn));
+    EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(moved));
+    moved();
+    moved();
+    EXPECT_EQ(hits, 2);
+    sim::EventFn assigned;
+    assigned = std::move(moved);
+    assigned();
+    EXPECT_EQ(hits, 3);
+  }
+}
+
+TEST(EventFn, OversizedCapturesBoxToTheHeapInEitherMode) {
+  struct Huge {
+    char pad[96] = {};  // over kInlineBytes: always boxed
+    int* hits;
+    void operator()() const { ++*hits; }
+  };
+  static_assert(sizeof(Huge) > sim::EventFn::kInlineBytes);
+  ScopedHotPath hot(true);
+  int hits = 0;
+  sim::EventFn fn(Huge{{}, &hits});
+  sim::EventFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(TaskFramePool, CoroutineFramesRecycleThroughTheSlabPool) {
+  ScopedHotPath hot(true);
+  const util::SlabPoolStats before = sim::taskFramePool().stats();
+  sim::Simulator sim;
+  auto tiny = [](sim::Simulator& s) -> sim::Task { co_await s.delay(sim::ns(1)); };
+  for (int i = 0; i < 64; ++i) sim.spawn(tiny(sim));
+  sim.run();
+  const util::SlabPoolStats& after = sim::taskFramePool().stats();
+  EXPECT_GE(after.poolAllocs - before.poolAllocs, 64u);
+  EXPECT_EQ(after.live, before.live) << "frames leaked past the run";
+  // The second wave reuses the first wave's slots: no new slab memory.
+  std::uint64_t carved = after.slabBytes;
+  for (int i = 0; i < 64; ++i) sim.spawn(tiny(sim));
+  sim.run();
+  EXPECT_EQ(sim::taskFramePool().stats().slabBytes, carved);
+}
+
+}  // namespace
+}  // namespace anton

@@ -437,6 +437,54 @@ TEST(Recovery, ReplayRoutesAroundALinkMarkedFailed) {
       << "the replay was not rerouted";
 }
 
+TEST(Recovery, ReinjectedPacketDeliversLikeAFreshSend) {
+  // Machine::inject() mutates the shared Packet object (injectedAt,
+  // routeSalt, tailLag). A recovery layer that holds the PacketPtr and
+  // re-injects it directly must not inherit the first transit's tail lag —
+  // observable exactly when the replay's own path would not set one: a
+  // same-node delivery pays no wire serialization, so a stale lag from a
+  // prior hop silently postpones the commit.
+  Fixture f({2, 1, 1});
+  std::vector<std::byte> data(64, std::byte{0x5a});
+
+  // First transit: one hop with a 64 B payload, which leaves a nonzero
+  // tailLag on the packet object.
+  NetworkClient::SendArgs args;
+  args.dst = {f.nodeAt(1, 0, 0), kSlice0};
+  args.counterId = 0;
+  args.payload = net::makePayload(data.data(), data.size());
+  net::PacketPtr held = f.machine.client({0, kSlice0}).post(args);
+  f.sim.run();
+  ASSERT_EQ(f.machine.client(args.dst).counterValue(0), 1u);
+
+  // Inject and run to the delivery commit (the last event), returning how
+  // long the injection-to-commit pipeline took.
+  auto localDelivery = [&](const net::PacketPtr& p) {
+    sim::Time t0 = f.sim.now();
+    f.machine.inject(p);
+    f.sim.run();
+    return f.sim.now() - t0;
+  };
+
+  // Replay the held packet to a destination on the source node itself.
+  held->dst = {0, net::kSlice1};
+  held->counterId = 1;
+  sim::Time replayed = localDelivery(held);
+
+  // Reference: a fresh packet making the identical local delivery.
+  net::PacketPtr fresh = net::allocatePacket();
+  fresh->src = held->src;
+  fresh->dst = held->dst;
+  fresh->counterId = held->counterId;
+  fresh->address = held->address;
+  fresh->payload = held->payload;
+  sim::Time freshTime = localDelivery(fresh);
+
+  EXPECT_EQ(replayed, freshTime)
+      << "stale tailLag from the first transit leaked into the replay";
+  EXPECT_EQ(f.machine.client({0, net::kSlice1}).counterValue(1), 2u);
+}
+
 // --- per-phase drops: FFT, all-reduce stages, all-reduce fan-out, flush ----
 
 TEST(Recovery, FftGatherDropIsResentAndStaysBitIdentical) {

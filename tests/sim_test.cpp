@@ -304,6 +304,50 @@ TEST(Simulator, ResetReturnsTheKernelToAFreshState) {
   EXPECT_EQ(fromReset, replay(fresh));
 }
 
+TEST(Simulator, ResetIgnoresACancelledEventBuriedUnderALiveOne) {
+  // Regression: purgeCancelled() only drains cancelled events at the top of
+  // the heap, so a cancelled deadline sitting *under* a live event used to
+  // be counted as discarded work by reset() — tripping the serve layer's
+  // clean-arena audit on workers that had merely won a counter/deadline
+  // race. reset() must count live events only.
+  Simulator sim;
+  sim.at(ns(40), [] {});  // live, stays on top of the heap
+  Simulator::EventHandle h = sim.atCancellable(ns(50), [] {});
+  sim.runUntil(ns(30));   // nothing fires; both events still queued
+  Simulator::cancel(h);   // buried under the live ns(40) event
+  EXPECT_EQ(sim.reset(), 1u) << "cancelled tombstone counted as live work";
+
+  // Same race, fully drained: after the live event fires and the cancelled
+  // tombstone is purged, the reset must report a clean kernel.
+  sim.at(ns(40), [] {});
+  Simulator::EventHandle h2 = sim.atCancellable(ns(50), [] {});
+  Simulator::cancel(h2);
+  sim.run();
+  EXPECT_EQ(sim.reset(), 0u);
+}
+
+TEST(Simulator, ReservedSeqSlotsKeepTheirPlaceInTheSchedule) {
+  // The batched-drain contract: an event scheduled later via atReserved()
+  // with an earlier-reserved sequence number fires exactly where a plain
+  // at() issued at reservation time would have — before same-time events
+  // whose seq was handed out after it.
+  Simulator sim;
+  std::vector<int> order;
+  std::uint64_t slot = sim.reserveSeq();          // reserved first...
+  sim.at(ns(10), [&] { order.push_back(2); });    // ...then a same-time event
+  sim.atReserved(ns(10), slot, [&] { order.push_back(1); });
+  sim.at(ns(10), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+
+  EXPECT_THROW(sim.atReserved(ns(5), sim.reserveSeq(), [] {}),
+               std::logic_error)
+      << "scheduling in the past must throw like at()";
+  EXPECT_THROW(sim.atReserved(ns(20), sim.nextSeq() + 7, [] {}),
+               std::logic_error)
+      << "an unreserved (future) seq is a scheduling bug";
+}
+
 TEST(Simulator, RootsAreReapedIncrementally) {
   // Completed root frames must not pile up until the queue drains: with
   // thousands of short tasks alive at once, liveRoots() shrinks mid-run.
