@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/causal_log.hpp"
 #include "trace/activity.hpp"
 #include "util/hotpath.hpp"
 
@@ -249,11 +250,19 @@ void Machine::forwardOnLink(const PacketPtr& p, int nodeIdx, int entryRouter,
     // unbatched path consumes one — so batched and legacy runs share a
     // bit-identical (time, seq) event schedule. The arrival parks on the
     // link's pending queue; at most one drain event sits in the kernel per
-    // link regardless of how many packets are in flight on it.
-    l.pending.push_back({p, atRing, sim_.reserveSeq()});
+    // link regardless of how many packets are in flight on it. The causal
+    // oracle attributes the arrival here too (node, link crossing, and the
+    // currently executing event as parent) — at atReserved() time the
+    // executing event would be the previous drain, which the unbatched
+    // schedule never had.
+    std::uint64_t seq = sim_.reserveSeq();
+    if (sim::CausalLog* log = sim::causalOracle())
+      log->noteScheduled(seq, nextIdx, /*link=*/true);
+    l.pending.push_back({p, atRing, seq});
     if (!l.drainScheduled)
       scheduleDrain(std::size_t(nodeIdx) * 6 + std::size_t(adapterIdx));
   } else {
+    sim::ScopedCausalNodeHint hint(nextIdx, /*link=*/true);
     sim_.at(atRing, [this, p, nextIdx, entryAdapterRouter, dim, sign, atRing] {
       routeFrom(p, nextIdx, entryAdapterRouter, dim, sign, atRing);
     });
@@ -339,6 +348,9 @@ void Machine::deliverLocal(const PacketPtr& p, int nodeIdx, int entryRouter,
   sim::Time tPath = t + lat.ringPath(entryRouter, clientRouter);
   sim::Time start = node(nodeIdx).reserveRing(tPath, p->wireBytes());
   sim::Time commit = start + p->tailLag;
+  // Same-node schedule point: attribute the commit to this node (not a link
+  // crossing) so the oracle's inheritance chain stays on the right shard.
+  sim::ScopedCausalNodeHint hint(nodeIdx, /*link=*/false);
   sim_.at(commit, [this, p, nodeIdx, clientId] {
     node(nodeIdx).client(clientId).deliver(p);
     ++stats_.packetsDelivered;

@@ -61,7 +61,7 @@ JobServer::~JobServer() { shutdown(); }
 SubmitOutcome JobServer::submit(const JobSpec& spec,
                                 const SubmitOptions& opts) {
   std::vector<std::string> errs = validateSpec(spec);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (!errs.empty()) {
     ++rejected_;
     std::string reason = "invalid spec: " + errs.front();
@@ -100,23 +100,25 @@ SubmitOutcome JobServer::submit(const JobSpec& spec,
 }
 
 JobRecord JobServer::wait(std::uint64_t id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end())
     throw std::invalid_argument("unknown job id " + std::to_string(id));
-  doneCv_.wait(lk, [&] { return isTerminal(it->second.rec.state); });
+  // Explicit loop rather than a predicate lambda: the guarded read stays in
+  // this annotated scope, where the analysis can see mu_ is held.
+  while (!isTerminal(it->second.rec.state)) doneCv_.wait(lk);
   return it->second.rec;
 }
 
 std::optional<JobRecord> JobServer::poll(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   return it->second.rec;
 }
 
 bool JobServer::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   auto it = jobs_.find(id);
   if (it == jobs_.end() || isTerminal(it->second.rec.state)) return false;
   it->second.cancelFlag->store(true);
@@ -130,19 +132,19 @@ bool JobServer::cancel(std::uint64_t id) {
 }
 
 void JobServer::pause() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   paused_ = true;
 }
 
 void JobServer::resume() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   paused_ = false;
   workCv_.notify_all();
 }
 
 void JobServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (stop_) {
       // Second call: workers already told to stop; fall through to join.
     }
@@ -175,8 +177,8 @@ void JobServer::workerLoop(int index) {
   // nonzero discard count means a previous job left events or frames behind.
   sim::Simulator arena;
   for (;;) {
-    std::unique_lock<std::mutex> lk(mu_);
-    workCv_.wait(lk, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+    util::MutexLock lk(mu_);
+    while (!(stop_ || (!paused_ && !queue_.empty()))) workCv_.wait(lk);
     if (stop_) return;
     std::uint64_t id = queue_.front();
     queue_.pop_front();
@@ -212,7 +214,7 @@ void JobServer::workerLoop(int index) {
       keyHex = util::hex64(key);
       CacheEntry cached;
       {
-        std::lock_guard<std::mutex> lk2(mu_);
+        util::MutexLock lk2(mu_);
         auto it = cache_.find(key);
         if (opts.useCache && it != cache_.end()) {
           cacheHit = true;
@@ -276,7 +278,7 @@ void JobServer::workerLoop(int index) {
 }
 
 std::string JobServer::statusz() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::map<std::string, int> byState;
   for (const char* s : {"queued", "running", "done", "failed", "cancelled",
                         "expired"})

@@ -26,7 +26,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -34,6 +33,7 @@
 
 #include "serve/job_spec.hpp"
 #include "serve/runner.hpp"
+#include "util/thread_safety.hpp"
 
 namespace anton::serve {
 
@@ -140,24 +140,31 @@ class JobServer {
   };
 
   void workerLoop(int index);
-  void finishLocked(Job& job, JobState state);  ///< stamp + notify (mu_ held)
+  /// Stamp the terminal state + notify waiters. The REQUIRES contract is
+  /// the "Locked" suffix made machine-checked: calling this without mu_
+  /// held is a clang -Wthread-safety build break.
+  void finishLocked(Job& job, JobState state) ANTON_REQUIRES(mu_);
 
   ServerConfig cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable workCv_;          ///< workers: queue/stop/pause
-  mutable std::condition_variable doneCv_;  ///< waiters: terminal states
-  bool stop_ = false;
-  bool paused_ = false;
-  std::uint64_t nextId_ = 1;
-  std::deque<std::uint64_t> queue_;
-  std::map<std::uint64_t, Job> jobs_;
-  std::map<std::uint64_t, CacheEntry> cache_;
-  std::vector<WorkerStats> workerStats_;
-  std::map<std::string, std::vector<double>> familyTurnaroundMs_;
-  std::uint64_t cacheHits_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t arenaDirtyResets_ = 0;  ///< cross-job leak audit: stays 0
-  std::chrono::steady_clock::time_point startedAt_;
+  mutable util::Mutex mu_;
+  /// condition_variable_any: waits directly on util::MutexLock (the
+  /// annotated scoped lock is BasicLockable).
+  std::condition_variable_any workCv_;          ///< workers: queue/stop/pause
+  mutable std::condition_variable_any doneCv_;  ///< waiters: terminal states
+  bool stop_ ANTON_GUARDED_BY(mu_) = false;
+  bool paused_ ANTON_GUARDED_BY(mu_) = false;
+  std::uint64_t nextId_ ANTON_GUARDED_BY(mu_) = 1;
+  std::deque<std::uint64_t> queue_ ANTON_GUARDED_BY(mu_);
+  std::map<std::uint64_t, Job> jobs_ ANTON_GUARDED_BY(mu_);
+  std::map<std::uint64_t, CacheEntry> cache_ ANTON_GUARDED_BY(mu_);
+  std::vector<WorkerStats> workerStats_ ANTON_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<double>> familyTurnaroundMs_
+      ANTON_GUARDED_BY(mu_);
+  std::uint64_t cacheHits_ ANTON_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ ANTON_GUARDED_BY(mu_) = 0;
+  /// Cross-job leak audit: stays 0.
+  std::uint64_t arenaDirtyResets_ ANTON_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point startedAt_;  // set once in the ctor
   std::vector<std::thread> workers_;  // last: joined before members die
 };
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/causal_log.hpp"
+
 namespace anton::sim {
 
 namespace {
@@ -36,7 +38,9 @@ void Simulator::releaseSlot(std::uint32_t idx) {
 void Simulator::at(Time t, Callback fn) {
   if (t < now_) throw std::logic_error("Simulator::at: event scheduled in the past");
   std::uint32_t slot = parkSlot(std::move(fn), nullptr);
-  queue_.push(Event{t, nextSeq_++, slot});
+  std::uint64_t seq = nextSeq_++;
+  if (CausalLog* log = causalOracle()) log->noteScheduled(seq);
+  queue_.push(Event{t, seq, slot});
 }
 
 void Simulator::atReserved(Time t, std::uint64_t seq, Callback fn) {
@@ -45,6 +49,9 @@ void Simulator::atReserved(Time t, std::uint64_t seq, Callback fn) {
   if (seq >= nextSeq_)
     throw std::logic_error("Simulator::atReserved: seq was not reserved");
   std::uint32_t slot = parkSlot(std::move(fn), nullptr);
+  // Insert-if-absent: a caller that attributed the seq at its reservation
+  // point (net::Machine's batched drains) already fixed node and parent.
+  if (CausalLog* log = causalOracle()) log->noteScheduled(seq);
   queue_.push(Event{t, seq, slot});
 }
 
@@ -55,7 +62,9 @@ Simulator::EventHandle Simulator::atCancellable(Time t, Callback fn) {
       util::PoolAllocator<bool>(eventHandlePool()), false);
   std::uint32_t slot = parkSlot(std::move(fn), h);
   ++liveCancellable_;
-  queue_.push(Event{t, nextSeq_++, slot});
+  std::uint64_t seq = nextSeq_++;
+  if (CausalLog* log = causalOracle()) log->noteScheduled(seq);
+  queue_.push(Event{t, seq, slot});
   return h;
 }
 
@@ -83,6 +92,7 @@ void Simulator::purgeCancelled() {
   // touch the slot arena per step.
   if (liveCancellable_ == 0) return;
   while (!queue_.empty() && slotCancelled(queue_.top().slot)) {
+    if (CausalLog* log = causalOracle()) log->onDiscard(queue_.top().seq);
     releaseSlot(queue_.top().slot);
     queue_.pop();
   }
@@ -99,7 +109,10 @@ bool Simulator::step() {
   releaseSlot(ev.slot);
   now_ = ev.t;
   ++processed_;
+  if (CausalLog* log = causalOracle()) log->onExecute(ev.t, ev.seq);
   fn();
+  // Re-fetch: the callback may have attached or detached the oracle.
+  if (CausalLog* log = causalOracle()) log->onExecuteDone();
   return true;
 }
 
@@ -128,6 +141,9 @@ std::size_t Simulator::reset() {
   now_ = 0;
   nextSeq_ = 0;
   processed_ = 0;
+  // Sequence numbers restart: an attached oracle log must open a new epoch
+  // so records from different generations cannot alias.
+  if (CausalLog* log = causalOracle()) log->onReset();
   return discarded;
 }
 

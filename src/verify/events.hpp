@@ -75,6 +75,16 @@ class EventGraph {
   /// Phase-entry anchor of (node, phase); -1 when out of range.
   int entrySlot(int node, int phase) const;
 
+  /// Happens-before successors of `vertex`, as a CSR slice (begin/end
+  /// pointers into the adjacency array). The lookahead analyzer walks every
+  /// edge once through this.
+  const int* succBegin(int vertex) const {
+    return adjEdges_.data() + adjStart_[std::size_t(vertex)];
+  }
+  const int* succEnd(int vertex) const {
+    return adjEdges_.data() + adjStart_[std::size_t(vertex) + 1];
+  }
+
   /// Vertices reachable from `vertex` (inclusive), as a bitmap.
   std::vector<char> reachableFrom(int vertex) const;
 

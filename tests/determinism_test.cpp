@@ -12,6 +12,7 @@
 #include "fault/plan.hpp"
 #include "md/anton_app.hpp"
 #include "net/machine.hpp"
+#include "sim/causal_log.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "trace/activity.hpp"
@@ -136,6 +137,63 @@ TEST(Determinism, PooledHotPathIsBitIdenticalToTheLegacyKernel) {
     return std::tuple{m.stats(), machineDigest(m), sim.now(), tr.csv()};
   };
   EXPECT_EQ(storm(true), storm(false));
+}
+
+TEST(Determinism, CausalTraceIsBitIdenticalAcrossHotPathModes) {
+  // The causal-order oracle (sim/causal_log.hpp) must not perturb the event
+  // order, and its recorded trace must be invariant under the hot-path
+  // knobs: batched link drains attribute arrivals at their reserveSeq()
+  // point — the exact spot the legacy path consumes a seq — so the full
+  // (t, seq, parent, node, link) trace digests identically in both modes.
+  auto storm = [](bool hot, sim::CausalLog& log) {
+    util::ScopedHotPath scoped(hot);
+    sim::ScopedCausalOracle oracle(log);
+    sim::Simulator sim;
+    net::Machine m(sim, {4, 4, 4});
+    sim::Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+      int srcNode = int(rng.below(std::uint64_t(m.numNodes())));
+      int srcClient = int(rng.below(4));
+      net::NetworkClient::SendArgs args;
+      args.dst = {int(rng.below(std::uint64_t(m.numNodes()))),
+                  int(rng.below(4))};
+      args.counterId = int(rng.below(4));
+      args.address = std::uint32_t(rng.below(1024)) * 16;
+      std::size_t bytes = std::size_t(rng.below(32)) * 8;
+      if (bytes != 0) args.payload = net::makeZeroPayload(bytes);
+      m.client({srcNode, srcClient}).post(args);
+    }
+    sim.run();
+    return std::tuple{m.stats(), machineDigest(m), sim.now()};
+  };
+  sim::CausalLog pooled, legacy;
+  EXPECT_EQ(storm(true, pooled), storm(false, legacy));
+  ASSERT_FALSE(pooled.records().empty());
+  EXPECT_EQ(pooled.records().size(), legacy.records().size());
+  EXPECT_EQ(pooled.digest(), legacy.digest());
+  // Field-level, not just the digest: the first divergence (if any) names
+  // itself in the failure output.
+  for (std::size_t i = 0; i < pooled.records().size(); ++i)
+    ASSERT_EQ(pooled.records()[i] == legacy.records()[i], true)
+        << "record " << i << " diverges between hot-path modes";
+  // The trace contains attributed link crossings (the oracle's subject).
+  bool anyLink = false;
+  for (const sim::CausalRecord& r : pooled.records())
+    anyLink = anyLink || r.link != 0;
+  EXPECT_TRUE(anyLink);
+}
+
+TEST(Determinism, AttachedOracleLeavesTheScheduleUntouched) {
+  // Recording must be observation-only: the same storm with and without a
+  // log attached lands on identical stats, memories and final clock.
+  RunResult bare = trafficStorm(7, nullptr);
+  sim::CausalLog log;
+  sim::ScopedCausalOracle oracle(log);
+  RunResult traced = trafficStorm(7, nullptr);
+  EXPECT_EQ(bare.stats, traced.stats);
+  EXPECT_EQ(bare.digest, traced.digest);
+  EXPECT_EQ(bare.finalTime, traced.finalTime);
+  EXPECT_FALSE(log.records().empty());
 }
 
 TEST(Determinism, MdPositionsMatchBetweenPooledAndLegacyHotPaths) {

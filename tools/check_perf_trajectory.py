@@ -22,9 +22,11 @@ themselves (deviation 0) and are informational only.
 
 With no FILE arguments, every BENCH_*.json in the current directory is
 checked.  Metrics present in the baseline but missing from the fresh run
-fail (a silently-dropped metric reads as "covered" when it is not); new
-metrics absent from the baseline pass with a notice so adding a bench does
-not require a two-step dance.  Exit status: 0 clean, 1 regressions.
+fail (a silently-dropped metric reads as "covered" when it is not), and a
+metric present in the fresh run but absent from the committed baseline is
+an equally loud failure: an unpinned metric has no trajectory to protect,
+so the author who adds a bench metric must commit its baseline key in the
+same change.  Exit status: 0 clean, 1 regressions.
 """
 
 import argparse
@@ -97,8 +99,14 @@ def check(fresh_files, baseline_dir, slack):
 
     new_metrics = sorted(set(fresh) - set(baseline))
     for bench, metric in new_metrics:
-        print(f"notice: {bench}/{metric} has no baseline yet "
-              "(passes; commit a refreshed baseline to pin it)")
+        # An unpinned metric has no trajectory to protect: fail loudly and
+        # tell the author exactly what to commit, rather than letting the
+        # new key ride along unchecked until it silently drifts.
+        failures.append(
+            f"{bench}/{metric}: present in the fresh run but has no "
+            f"committed baseline key — add this metric's record to "
+            f"{baseline_dir}/ (refresh from this run) in the same change "
+            "that introduced it")
 
     checked = len(set(baseline) & set(fresh))
     if failures:
@@ -109,8 +117,7 @@ def check(fresh_files, baseline_dir, slack):
         print("If the drift is intended, refresh bench/baseline/ from this "
               "run and commit it with the change that caused it.")
         return 1
-    print(f"perf trajectory OK: {checked} metrics within slack "
-          f"({len(new_metrics)} unpinned)")
+    print(f"perf trajectory OK: {checked} metrics within slack")
     return 0
 
 

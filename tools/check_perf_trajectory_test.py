@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Unit check for check_perf_trajectory.py's gating protocol.
+
+Runs entirely on synthetic BENCH_*.json fixtures in temp directories — no
+benches needed. Pins the four contractual behaviours:
+
+  * within-slack drift passes;
+  * |deviation| growth beyond slack fails;
+  * a baseline metric missing from the fresh run fails;
+  * a fresh metric with no committed baseline key fails loudly, naming the
+    baseline directory the author must refresh (the ISSUE 8 satellite: new
+    metrics must be pinned in the same change that introduces them).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_perf_trajectory as cpt  # noqa: E402
+
+
+def write_records(path, records):
+    with open(path, "w", encoding="utf-8") as f:
+        for rec in records:
+            f.write(json.dumps(rec) + "\n")
+
+
+def record(bench, metric, deviation):
+    return {"bench": bench, "metric": metric, "paper": 1.0,
+            "measured": 1.0 + (deviation or 0.0), "deviation": deviation,
+            "unit": "x"}
+
+
+class CheckPerfTrajectoryTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.baseline_dir = os.path.join(self.tmp.name, "baseline")
+        os.makedirs(self.baseline_dir)
+        self.fresh_path = os.path.join(self.tmp.name, "BENCH_fresh.json")
+        write_records(os.path.join(self.baseline_dir, "BENCH_a.json"),
+                      [record("a", "latency", 0.10),
+                       record("a", "throughput", -0.05)])
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_check(self, fresh_records, slack=0.02):
+        write_records(self.fresh_path, fresh_records)
+        return cpt.check([self.fresh_path], self.baseline_dir, slack)
+
+    def test_within_slack_passes(self):
+        rc = self.run_check([record("a", "latency", 0.11),
+                             record("a", "throughput", -0.06)])
+        self.assertEqual(rc, 0)
+
+    def test_deviation_growth_beyond_slack_fails(self):
+        rc = self.run_check([record("a", "latency", 0.20),
+                             record("a", "throughput", -0.05)])
+        self.assertEqual(rc, 1)
+
+    def test_missing_metric_fails(self):
+        rc = self.run_check([record("a", "latency", 0.10)])
+        self.assertEqual(rc, 1)
+
+    def test_new_metric_without_baseline_key_fails(self):
+        rc = self.run_check([record("a", "latency", 0.10),
+                             record("a", "throughput", -0.05),
+                             record("b", "brand_new", 0.0)])
+        self.assertEqual(rc, 1)
+
+    def test_new_metric_failure_names_the_baseline_dir(self):
+        # The failure must tell the author what to do, not just say no.
+        import io
+        import contextlib
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = self.run_check([record("a", "latency", 0.10),
+                                 record("a", "throughput", -0.05),
+                                 record("b", "brand_new", 0.0)])
+        self.assertEqual(rc, 1)
+        out = buf.getvalue()
+        self.assertIn("b/brand_new", out)
+        self.assertIn("no committed baseline key", out)
+        self.assertIn(self.baseline_dir, out)
+
+    def test_finiteness_change_fails(self):
+        write_records(os.path.join(self.baseline_dir, "BENCH_n.json"),
+                      [record("n", "maybe", None)])
+        rc = self.run_check([record("a", "latency", 0.10),
+                             record("a", "throughput", -0.05),
+                             record("n", "maybe", 0.3)])
+        self.assertEqual(rc, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -30,10 +30,22 @@
 //                       (tools/plan_registry.hpp) or snapshot files; prints
 //                       one line per difference. Exit 0 when identical, 1
 //                       when the plans differ, 2 on error.
+//   --lookahead         static parallel-safety audit (ISSUE 8): prove every
+//                       cross-shard happens-before edge of each golden plan
+//                       meets the shard pair's lookahead bound under the
+//                       shipped shardings, and that each seeded-unsafe
+//                       sharding fires its diagnostic. Output mirrors to
+//                       VERIFY_lookahead.json (committed golden file).
+//   --oracle            dynamic causal-order cross-check: record a causal
+//                       trace of the live quickstart MD and Fig. 5 ping
+//                       shapes and assert every observed cross-shard link
+//                       edge respects the statically claimed bound; output
+//                       mirrors to VERIFY_oracle.json.
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,9 +53,12 @@
 #include "bench_common.hpp"
 #include "core/allreduce.hpp"
 #include "net/latency.hpp"
+#include "net/probe.hpp"
 #include "plan_registry.hpp"
+#include "sim/causal_log.hpp"
 #include "sim/simulator.hpp"
 #include "verify/checks.hpp"
+#include "verify/lookahead.hpp"
 #include "verify/snapshot.hpp"
 
 using anton::bench::JsonReporter;
@@ -53,10 +68,13 @@ namespace {
 namespace verify = anton::verify;
 namespace net = anton::net;
 namespace core = anton::core;
+namespace sim = anton::sim;
 namespace tools = anton::tools;
 
 struct Emitter {
-  JsonReporter file{"verify_plans", "VERIFY_plans.json"};
+  JsonReporter file;
+  explicit Emitter(const std::string& path = "VERIFY_plans.json")
+      : file("verify_plans", path) {}
   void line(const std::string& l) {
     std::cout << l << '\n';
     file.raw(l);
@@ -361,6 +379,265 @@ void runSelfTests(Emitter& em, Totals& t) {
   }
 }
 
+// --- --lookahead: static parallel-safety audit (ISSUE 8 tentpole) -----------
+
+std::string lookaheadLine(const verify::LookaheadReport& r) {
+  std::ostringstream os;
+  os << "{\"kind\":\"lookahead\",\"plan\":" << JsonReporter::quoted(r.plan)
+     << ",\"sharding\":" << JsonReporter::quoted(r.sharding)
+     << ",\"shards\":" << r.numShards
+     << ",\"safeLookaheadNs\":" << JsonReporter::number(r.safeLookaheadNs)
+     << ",\"conflictDegree\":" << r.conflictDegree
+     << ",\"crossShardEdges\":" << r.crossShardEdges
+     << ",\"events\":" << r.eventsModeled << ",\"pairs\":" << r.pairs.size()
+     << ",\"violations\":" << r.violations.size()
+     << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
+  return os.str();
+}
+
+void emitLookahead(Emitter& em, const verify::LookaheadReport& r) {
+  em.line(lookaheadLine(r));
+  for (const verify::Violation& v : r.violations)
+    em.line(findingLine(r.plan, v));
+  // The tightest (and every violating) edge per shard pair, capped so the
+  // golden file stays reviewable; the cap only drops edges that are neither
+  // violating nor pair-minimal beyond the 8 tightest.
+  std::size_t cap = std::min<std::size_t>(8, r.criticalEdges.size());
+  for (std::size_t i = 0; i < cap; ++i) {
+    const verify::CriticalEdge& e = r.criticalEdges[i];
+    std::ostringstream os;
+    os << "{\"kind\":\"critical-edge\",\"plan\":"
+       << JsonReporter::quoted(r.plan)
+       << ",\"sharding\":" << JsonReporter::quoted(r.sharding)
+       << ",\"from\":" << JsonReporter::quoted(e.from)
+       << ",\"to\":" << JsonReporter::quoted(e.to)
+       << ",\"fromShard\":" << e.fromShard << ",\"toShard\":" << e.toShard
+       << ",\"latencyNs\":" << JsonReporter::number(e.latencyNs)
+       << ",\"boundNs\":" << JsonReporter::number(e.boundNs)
+       << ",\"violates\":" << (e.violates ? "true" : "false") << "}";
+    em.line(os.str());
+  }
+}
+
+/// Audit every registered golden plan under the shipped (safe) shardings,
+/// then prove each unsafe-sharding diagnostic fires on a seeded case.
+/// Output mirrors to VERIFY_lookahead.json (committed as a golden file).
+int runLookahead() {
+  Emitter em("VERIFY_lookahead.json");
+  int audits = 0, violations = 0, selftests = 0, selftestFailures = 0;
+  for (const std::string& name : tools::goldenPlanNames()) {
+    verify::CommPlan plan = tools::buildNamedPlan(name);
+    for (const verify::Sharding& sh :
+         {verify::perNodeSharding(plan.shape),
+          verify::slabSharding(plan.shape)}) {
+      verify::LookaheadReport r = verify::analyzeLookahead(plan, sh);
+      ++audits;
+      violations += int(r.violations.size());
+      emitLookahead(em, r);
+    }
+  }
+
+  // Seeded-unsafe shardings: each must fire its distinct diagnostic.
+  struct UnsafeCase {
+    std::string name;
+    std::string expect;
+    std::string planName;
+    verify::Sharding sharding;
+  };
+  std::vector<UnsafeCase> cases;
+  {
+    verify::CommPlan md = tools::buildNamedPlan("quickstart-md");
+    cases.push_back({"unsafe-split-node", "lookahead.zero", "quickstart-md",
+                     verify::splitNodeSharding(md.shape)});
+    cases.push_back({"unsafe-zero-cycle", "lookahead.deadlock",
+                     "quickstart-md", verify::splitNodeSharding(md.shape)});
+  }
+  {
+    verify::CommPlan ar = tools::buildNamedPlan("table2-allreduce-2x2x2");
+    cases.push_back({"unsafe-inflated-claim", "lookahead.slack",
+                     "table2-allreduce-2x2x2",
+                     verify::claimedLookaheadSharding(ar.shape, 10000.0)});
+  }
+  for (const UnsafeCase& c : cases) {
+    verify::CommPlan plan = tools::buildNamedPlan(c.planName);
+    verify::LookaheadReport r = verify::analyzeLookahead(plan, c.sharding);
+    std::string edge;  // the named critical edge of the fired diagnostic
+    bool fired = false;
+    for (const verify::Violation& v : r.violations)
+      if (v.check == c.expect) {
+        fired = true;
+        edge = v.detail;
+        break;
+      }
+    ++selftests;
+    if (!fired) ++selftestFailures;
+    std::ostringstream os;
+    os << "{\"kind\":\"selftest\",\"plan\":" << JsonReporter::quoted(c.name)
+       << ",\"expected\":" << JsonReporter::quoted(c.expect)
+       << ",\"violations\":" << r.violations.size()
+       << ",\"fired\":" << (fired ? "true" : "false")
+       << ",\"edge\":" << JsonReporter::quoted(edge) << "}";
+    em.line(os.str());
+  }
+
+  bool ok = violations == 0 && selftestFailures == 0;
+  std::ostringstream os;
+  os << "{\"kind\":\"summary\",\"mode\":\"lookahead\",\"audits\":" << audits
+     << ",\"violations\":" << violations << ",\"selftests\":" << selftests
+     << ",\"selftestFailures\":" << selftestFailures
+     << ",\"ok\":" << (ok ? "true" : "false") << "}";
+  em.line(os.str());
+  std::cerr << (ok ? "verify_plans --lookahead: OK"
+                   : "verify_plans --lookahead: FAILED")
+            << " (" << audits << " audits, " << violations << " violations, "
+            << selftestFailures << "/" << selftests << " selftest failures)\n";
+  return ok ? 0 : 1;
+}
+
+// --- --oracle: dynamic causal-order cross-check -----------------------------
+
+struct OracleWorkload {
+  std::string name;
+  anton::util::TorusShape shape;
+  sim::Time finalTime = 0;      ///< oracle attached
+  sim::Time finalTimeBare = 0;  ///< oracle detached (must match)
+  net::MachineStats stats;      ///< oracle attached
+  net::MachineStats statsBare;  ///< oracle detached (must match)
+  bool statsMatch = false;
+  sim::CausalLog log;
+};
+
+/// The quickstart MD configuration, run live for two supersteps — the same
+/// extraction the "quickstart-md" golden plan audits statically.
+void runMdWorkload(OracleWorkload& w, bool withOracle) {
+  anton::sim::Simulator simulator;
+  net::Machine machine(simulator, w.shape);
+  anton::md::SyntheticSystemParams sp;
+  sp.targetAtoms = 1536;
+  sp.seed = 2010;
+  anton::md::AntonMdApp app(machine, anton::md::buildSyntheticSystem(sp),
+                            tools::quickstartMdConfig());
+  if (withOracle) {
+    sim::ScopedCausalOracle oracle(w.log);
+    app.runSteps(2);
+    w.finalTime = simulator.now();
+    w.stats = machine.stats();
+  } else {
+    app.runSteps(2);
+    w.finalTimeBare = simulator.now();
+    w.statsBare = machine.stats();
+  }
+}
+
+/// Fig. 5-style counted-write pings on the paper's 8x8x8 torus at 1, 4 and
+/// 12 hops (the probe helpers are the same ones behind the Fig. 5 bench).
+void runPingWorkload(OracleWorkload& w, bool withOracle) {
+  anton::sim::Simulator simulator;
+  net::Machine machine(simulator, w.shape);
+  std::optional<sim::ScopedCausalOracle> oracle;
+  if (withOracle) oracle.emplace(w.log);
+  for (anton::util::TorusCoord dst :
+       {anton::util::TorusCoord{1, 0, 0}, anton::util::TorusCoord{2, 2, 0},
+        anton::util::TorusCoord{4, 4, 4}})
+    net::oneWayLatencyNs(machine, {0, net::kSlice0},
+                         {anton::util::torusIndex(dst, w.shape), net::kSlice0},
+                         64);
+  (withOracle ? w.finalTime : w.finalTimeBare) = simulator.now();
+  (withOracle ? w.stats : w.statsBare) = machine.stats();
+}
+
+std::string oracleLine(const OracleWorkload& w, const std::string& sharding,
+                       const verify::OracleCheckResult& r) {
+  std::ostringstream os;
+  os << "{\"kind\":\"oracle\",\"workload\":" << JsonReporter::quoted(w.name)
+     << ",\"sharding\":" << JsonReporter::quoted(sharding)
+     << ",\"records\":" << r.recordsSeen
+     << ",\"linkEdges\":" << r.linkEdgesChecked
+     << ",\"crossShardEdges\":" << r.crossShardEdges
+     << ",\"minObservedNs\":" << JsonReporter::number(r.minObservedNs)
+     << ",\"scheduleUnperturbed\":"
+     << (w.finalTime == w.finalTimeBare && w.statsMatch ? "true" : "false")
+     << ",\"violations\":" << r.violations.size()
+     << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
+  return os.str();
+}
+
+/// Record a causal trace of the live quickstart MD and Fig. 5 ping shapes,
+/// check every observed cross-shard link edge against the same bounds the
+/// static analyzer proves, and confirm the oracle knob did not perturb the
+/// schedule (final clock identical with the knob off).
+int runOracle() {
+  Emitter em("VERIFY_oracle.json");
+  int violations = 0, selftests = 0, selftestFailures = 0;
+  bool schedulesMatch = true;
+
+  std::vector<OracleWorkload> workloads(2);
+  workloads[0].name = "quickstart-md";
+  workloads[0].shape = {4, 4, 4};
+  workloads[1].name = "fig5-ping";
+  workloads[1].shape = {8, 8, 8};
+  for (OracleWorkload& w : workloads) {
+    if (w.name == "quickstart-md") {
+      runMdWorkload(w, true);
+      runMdWorkload(w, false);
+    } else {
+      runPingWorkload(w, true);
+      runPingWorkload(w, false);
+    }
+    w.statsMatch = w.stats == w.statsBare;
+    schedulesMatch =
+        schedulesMatch && w.finalTime == w.finalTimeBare && w.statsMatch;
+    for (const verify::Sharding& sh :
+         {verify::perNodeSharding(w.shape), verify::slabSharding(w.shape)}) {
+      verify::OracleCheckResult r =
+          verify::checkCausalLog(w.log.records(), w.shape, sh);
+      violations += int(r.violations.size());
+      em.line(oracleLine(w, sh.name, r));
+      for (const verify::Violation& v : r.violations)
+        em.line(findingLine(w.name, v));
+    }
+  }
+
+  // Seeded-unsafe claim: a lookahead nobody can guarantee (1 ms) must make
+  // the oracle flag the very first observed link crossing.
+  {
+    const OracleWorkload& w = workloads[0];
+    verify::Sharding inflated =
+        verify::claimedLookaheadSharding(w.shape, 1.0e6);
+    verify::OracleCheckResult r =
+        verify::checkCausalLog(w.log.records(), w.shape, inflated);
+    bool fired = false;
+    for (const verify::Violation& v : r.violations)
+      if (v.check == "oracle.lookahead") fired = true;
+    ++selftests;
+    if (!fired) ++selftestFailures;
+    std::ostringstream os;
+    os << "{\"kind\":\"selftest\",\"plan\":"
+       << JsonReporter::quoted("oracle-inflated-claim")
+       << ",\"expected\":" << JsonReporter::quoted("oracle.lookahead")
+       << ",\"violations\":" << r.violations.size()
+       << ",\"fired\":" << (fired ? "true" : "false") << "}";
+    em.line(os.str());
+  }
+
+  bool ok = violations == 0 && selftestFailures == 0 && schedulesMatch;
+  std::ostringstream os;
+  os << "{\"kind\":\"summary\",\"mode\":\"oracle\",\"workloads\":"
+     << workloads.size() << ",\"violations\":" << violations
+     << ",\"selftests\":" << selftests
+     << ",\"selftestFailures\":" << selftestFailures
+     << ",\"schedulesMatch\":" << (schedulesMatch ? "true" : "false")
+     << ",\"ok\":" << (ok ? "true" : "false") << "}";
+  em.line(os.str());
+  std::cerr << (ok ? "verify_plans --oracle: OK"
+                   : "verify_plans --oracle: FAILED")
+            << " (" << workloads.size() << " workloads, " << violations
+            << " violations, " << selftestFailures << "/" << selftests
+            << " selftest failures, schedules "
+            << (schedulesMatch ? "unperturbed" : "PERTURBED") << ")\n";
+  return ok ? 0 : 1;
+}
+
 // --- --diff / --dump-plans ---------------------------------------------------
 
 verify::CommPlan loadPlanArg(const std::string& arg) {
@@ -436,13 +713,16 @@ int main(int argc, char** argv) {
         return runDump(argv[i + 1]);
       }
       if (std::strcmp(argv[i], "--plan-keys") == 0) return runPlanKeys();
+      if (std::strcmp(argv[i], "--lookahead") == 0) return runLookahead();
+      if (std::strcmp(argv[i], "--oracle") == 0) return runOracle();
       if (std::strcmp(argv[i], "--fast") == 0) {
         fast = true;
       } else if (std::strcmp(argv[i], "--selftest-only") == 0) {
         selftestOnly = true;
       } else {
         std::cerr << "usage: verify_plans [--fast] [--selftest-only] "
-                     "[--dump-plans DIR] [--diff A B] [--plan-keys]\n";
+                     "[--dump-plans DIR] [--diff A B] [--plan-keys] "
+                     "[--lookahead] [--oracle]\n";
         return 2;
       }
     }
