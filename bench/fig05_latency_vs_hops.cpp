@@ -10,10 +10,28 @@
 // takes through simd_server.
 #include "bench_common.hpp"
 
+#include "plan_registry.hpp"
 #include "serve/job_spec.hpp"
 #include "serve/runner.hpp"
+#include "verify/timing.hpp"
 
 using namespace anton;
+
+namespace {
+
+/// Static critical-path lower bound of a single one-corner ping (the same
+/// plan the verify_plans timing oracle prices), in ns. Recorded as the
+/// "paper" reference of the *_static_bound metrics: deviation is then the
+/// measured/bound slack minus one, which must stay non-negative (soundness)
+/// and within the committed baseline's trajectory (tightness).
+double staticPingBoundNs(util::TorusCoord corner) {
+  verify::TimingOptions opts;
+  opts.rounds = 1;
+  return verify::analyzeTiming(tools::buildPingPlan(corner), opts)
+      .criticalPathNs;
+}
+
+}  // namespace
 
 int main() {
   bench::banner("Figure 5: one-way latency vs. network hops (8x8x8 torus)");
@@ -52,6 +70,11 @@ int main() {
   json.record("one_hop_latency", 162.0, h1, "ns");
   json.record("x_slope", 76.0, (h4 - h1) / 3.0, "ns/hop");
   json.record("twelve_hop_ratio", 5.0, h12 / h1, "x");
+  // Fig. 5 runs hops 1-4 along X, 5-8 add Y, 9-12 add Z: the 1-hop corner
+  // is (1,0,0) and the 12-hop corner (4,4,4).
+  json.record("one_hop_static_bound", staticPingBoundNs({1, 0, 0}), h1, "ns");
+  json.record("twelve_hop_static_bound", staticPingBoundNs({4, 4, 4}), h12,
+              "ns");
   std::cout << "\npaper anchors: 1 hop = 162 ns (measured "
             << util::TablePrinter::num(h1, 1) << "), X slope = 76 ns/hop (measured "
             << util::TablePrinter::num((h4 - h1) / 3.0, 1)

@@ -13,8 +13,10 @@
 
 #include "cluster/collectives.hpp"
 #include "core/allreduce.hpp"
+#include "plan_registry.hpp"
 #include "serve/job_spec.hpp"
 #include "serve/runner.hpp"
+#include "verify/timing.hpp"
 
 using namespace anton;
 
@@ -65,11 +67,14 @@ int main() {
   bench::JsonReporter json("table2");
 
   sim::Simulator arena;  // one reused arena, reset per job — as in serve
-  double model512 = 0;
+  double model512 = 0, zero512 = 0;
   for (const Config& c : configs) {
     double zero = dimOrderedUs(arena, c.shape, 0);
     double b32 = dimOrderedUs(arena, c.shape, 4);
-    if (c.shape.size() == 512) model512 = b32;
+    if (c.shape.size() == 512) {
+      model512 = b32;
+      zero512 = zero;
+    }
 
     sim::Simulator s2;
     net::Machine m2(s2, c.shape);
@@ -88,6 +93,20 @@ int main() {
     json.record("allreduce_32B_" + nodes + "n", c.paper32Us, b32, "us");
   }
   table.print(std::cout);
+
+  // Static critical-path lower bound of one 512-node all-reduce round (the
+  // extracted table2-allreduce plan, header-only packets — the 0 B barrier).
+  // The bound is the "paper" reference: deviation is the measured/bound
+  // slack minus one, pinned by the committed baseline (soundness keeps it
+  // non-negative; the trajectory gate keeps the tightness from eroding).
+  {
+    verify::TimingOptions topts;
+    topts.rounds = 1;
+    verify::TimingReport tr = verify::analyzeTiming(
+        tools::buildNamedPlan("table2-allreduce-8x8x8"), topts);
+    json.record("allreduce_0B_512n_static_bound", tr.criticalPathNs / 1000.0,
+                zero512, "us");
+  }
 
   // InfiniBand comparison anchor.
   sim::Simulator cs;

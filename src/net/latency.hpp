@@ -136,8 +136,58 @@ struct LatencyConfig {
     return onChip + 2.0 * adapterNs + wireNs[static_cast<std::size_t>(dim)];
   }
 
+  /// Ring-path cost between two router slots in plain nanoseconds (the
+  /// sim::Time twin is ringPath); the exact on-chip turn cost the static
+  /// timing analyzer charges when a route's entry and exit adapters are
+  /// known (verify::analyzeTiming).
+  double ringPathNs(int fromRouter, int toRouter) const {
+    return routerHopBaseNs +
+           routerHopEachNs * ring.routersTraversed(fromRouter, toRouter);
+  }
+
   sim::Time minLinkCrossing(int dim) const {
     return sim::ns(minLinkCrossingNs(dim));
+  }
+
+  // --- capacity accessors (the static timing-analysis surface) --------------
+  //
+  // verify::analyzeTiming prices plan traffic with the same constants the
+  // live machine charges (Machine::forwardOnLink, Node::reserveRing), exposed
+  // here in plain nanoseconds so the analyzer never re-derives a rate.
+
+  /// Serialization time of one wire packet on a torus link, ns (the busy
+  /// window Machine::forwardOnLink charges against the link).
+  double linkSerializationNs(std::size_t bytes) const {
+    return double(bytes) / linkBytesPerNs;
+  }
+
+  /// Ring busy window charged per packet at a node, ns (spatial-reuse
+  /// concurrency folded in, matching Node::reserveRing) — the only spacing
+  /// the hardware guarantees between back-to-back injections of one burst.
+  double ringOccupancyNs(std::size_t bytes) const {
+    return double(bytes) / (ringBytesPerNs * ringConcurrency);
+  }
+
+  /// Static minimum spacing between consecutive packets of one counted
+  /// write as observed at the destination counter: every packet reserves the
+  /// source ring, and packets crossing at least one torus link additionally
+  /// serialize on their (shared) route links.
+  double minPacketSpacingNs(std::size_t wireBytes, bool crossesLink) const {
+    double spacing = ringOccupancyNs(wireBytes);
+    return crossesLink ? std::max(spacing, linkSerializationNs(wireBytes))
+                       : spacing;
+  }
+
+  /// Static minimum cost of the local delivery tail after the last link
+  /// crossing (or after assembly, for same-node writes): cheapest on-chip
+  /// ring path to the destination client plus the counter update and one
+  /// successful poll.
+  double minDeliveryNs() const { return minRingPathNs() + pollSuccessNs; }
+
+  /// Bytes one link direction can serialize in a window, the capacity side
+  /// of the timing.contention check.
+  double linkCapacityBytes(double windowNs) const {
+    return windowNs * linkBytesPerNs;
   }
 };
 

@@ -163,7 +163,7 @@ template <typename T>
 struct PoolAllocator {
   using value_type = T;
 
-  explicit PoolAllocator(SlabPool& pool) noexcept : pool(&pool) {}
+  explicit PoolAllocator(SlabPool& slabs) noexcept : pool(&slabs) {}
   template <typename U>
   PoolAllocator(const PoolAllocator<U>& o) noexcept : pool(o.pool) {}
 

@@ -17,12 +17,47 @@ int kindRank(EventKind k) {
       return 0;
     case EventKind::kFree:
       return 1;
-    default:
-      return 2;  // kSend (anchors are placed explicitly, never sorted)
+    case EventKind::kSend:
+    case EventKind::kPhaseEntry:
+    case EventKind::kPhaseExit:
+      return 2;  // anchors are placed explicitly, never sorted
   }
+  return 2;
 }
 
 }  // namespace
+
+std::vector<std::vector<net::ClientAddr>> deliveredTargets(
+    const CommPlan& plan) {
+  std::map<int, std::vector<std::size_t>> patternIndex;
+  for (std::size_t mi = 0; mi < plan.multicasts.size(); ++mi)
+    patternIndex[plan.multicasts[mi].patternId].push_back(mi);
+  std::map<std::size_t, TreeExpansion> expansions;
+  std::vector<std::vector<net::ClientAddr>> delivered(plan.writes.size());
+  for (std::size_t wi = 0; wi < plan.writes.size(); ++wi) {
+    const PlannedWrite& w = plan.writes[wi];
+    if (w.pattern == net::kNoMulticast) {
+      if (w.dst.node >= 0) delivered[wi].push_back(w.dst);
+      continue;
+    }
+    auto it = patternIndex.find(w.pattern);
+    std::size_t chosen = std::size_t(-1);
+    if (it != patternIndex.end()) {
+      for (std::size_t c : it->second)
+        if (plan.multicasts[c].srcNode == w.srcNode) {
+          chosen = c;
+          break;
+        }
+      if (chosen == std::size_t(-1) && it->second.size() == 1)
+        chosen = it->second.front();
+    }
+    if (chosen == std::size_t(-1)) continue;
+    auto [ei, fresh] = expansions.try_emplace(chosen);
+    if (fresh) ei->second = expandTree(plan.multicasts[chosen], plan.shape);
+    delivered[wi] = ei->second.reached;
+  }
+  return delivered;
+}
 
 EventGraph::EventGraph(
     const CommPlan& plan, int rounds,
@@ -109,7 +144,9 @@ void EventGraph::buildSlots(const CommPlan& plan) {
           case EventKind::kFree:
             freeSlot_[std::size_t(it.ev.ref)] = slot;
             break;
-          default:
+          case EventKind::kSend:
+          case EventKind::kPhaseEntry:  // anchors never enter the groups
+          case EventKind::kPhaseExit:
             sendSlot_[std::size_t(it.ev.ref)] = slot;
             break;
         }

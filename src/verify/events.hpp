@@ -47,6 +47,13 @@ struct Event {
   int ref = -1;   ///< index into writes / expectations / buffers, -1 anchors
 };
 
+/// Delivered destination clients of each write, mirroring the
+/// count-consistency pass (checks.cpp) without re-emitting its diagnostics:
+/// malformed patterns simply deliver nowhere. Shared by the lookahead and
+/// timing analyzers so every happens-before walk prices the same fan-out.
+std::vector<std::vector<net::ClientAddr>> deliveredTargets(
+    const CommPlan& plan);
+
 class EventGraph {
  public:
   /// `delivered[wi]` lists the destination clients of plan.writes[wi]

@@ -37,41 +37,6 @@ std::vector<int> shardsOfNode(int node, const Sharding& s) {
   return out;
 }
 
-/// Delivered destination clients of each write, mirroring the
-/// count-consistency pass (checks.cpp) without re-emitting its diagnostics:
-/// malformed patterns simply deliver nowhere here.
-std::vector<std::vector<net::ClientAddr>> deliveredTargets(
-    const CommPlan& plan) {
-  std::map<int, std::vector<std::size_t>> patternIndex;
-  for (std::size_t mi = 0; mi < plan.multicasts.size(); ++mi)
-    patternIndex[plan.multicasts[mi].patternId].push_back(mi);
-  std::map<std::size_t, TreeExpansion> expansions;
-  std::vector<std::vector<net::ClientAddr>> delivered(plan.writes.size());
-  for (std::size_t wi = 0; wi < plan.writes.size(); ++wi) {
-    const PlannedWrite& w = plan.writes[wi];
-    if (w.pattern == net::kNoMulticast) {
-      if (w.dst.node >= 0) delivered[wi].push_back(w.dst);
-      continue;
-    }
-    auto it = patternIndex.find(w.pattern);
-    std::size_t chosen = std::size_t(-1);
-    if (it != patternIndex.end()) {
-      for (std::size_t c : it->second)
-        if (plan.multicasts[c].srcNode == w.srcNode) {
-          chosen = c;
-          break;
-        }
-      if (chosen == std::size_t(-1) && it->second.size() == 1)
-        chosen = it->second.front();
-    }
-    if (chosen == std::size_t(-1)) continue;
-    auto [ei, fresh] = expansions.try_emplace(chosen);
-    if (fresh) ei->second = expandTree(plan.multicasts[chosen], plan.shape);
-    delivered[wi] = ei->second.reached;
-  }
-  return delivered;
-}
-
 /// The client an event slot acts on behalf of (the shard attribution).
 net::ClientAddr eventClient(const CommPlan& plan, const Event& e) {
   switch (e.kind) {
@@ -81,9 +46,11 @@ net::ClientAddr eventClient(const CommPlan& plan, const Event& e) {
       return plan.buffers[std::size_t(e.ref)].client;
     case EventKind::kSend:
       return {plan.writes[std::size_t(e.ref)].srcNode, net::kSlice0};
-    default:  // phase anchors act for the whole node
+    case EventKind::kPhaseEntry:  // phase anchors act for the whole node
+    case EventKind::kPhaseExit:
       return {e.node, net::kSlice0};
   }
+  return {e.node, net::kSlice0};
 }
 
 struct ViolationCollector {

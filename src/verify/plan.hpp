@@ -61,6 +61,11 @@ struct PlannedWrite {
   /// exchange rounds, the migration flush) must say so explicitly or the
   /// event-granular checks will model an ordering the hardware never had.
   int seq = 1;
+  /// Payload bytes per packet, for the timing analyzer's link-occupancy
+  /// pricing. 0 means unknown: the analyzer then charges the header-only
+  /// wire size (its documented conservatism, DESIGN.md §12) and the field is
+  /// omitted from canonical snapshots so existing goldens stay byte-stable.
+  std::uint32_t bytes = 0;
 };
 
 /// One counter wait site. Several records may target the same (client,

@@ -64,6 +64,7 @@ std::string writeTarget(const PlannedWrite& w) {
 
 struct WriteAgg {
   std::uint64_t packets = 0;
+  std::uint64_t payloadBytes = 0;  ///< packets * per-packet payload
   int records = 0;
   int fifo = 0;
   int inOrder = 0;
@@ -116,7 +117,9 @@ std::string planToJson(const CommPlan& plan) {
       << num(w.pattern) << ", \"counterId\": " << num(w.counterId)
       << ", \"packets\": " << num(w.packets) << ", \"inOrder\": "
       << boolean(w.inOrder) << ", \"fifo\": " << boolean(w.fifo)
-      << ", \"seq\": " << num(w.seq) << "}";
+      << ", \"seq\": " << num(w.seq);
+    if (w.bytes != 0) o << ", \"bytes\": " << num(std::uint64_t(w.bytes));
+    o << "}";
   }
   o << (plan.writes.empty() ? "],\n" : "\n  ],\n");
 
@@ -217,6 +220,8 @@ CommPlan planFromJson(const std::string& json) {
       w.fifo = jsonBool(*f, "write.fifo");
     if (const Value* s = jsonOpt(jw, "seq"))
       w.seq = jsonInt(*s, "write.seq");
+    if (const Value* by = jsonOpt(jw, "bytes"))
+      w.bytes = std::uint32_t(jsonU64(*by, "write.bytes"));
     plan.writes.push_back(std::move(w));
   }
 
@@ -324,6 +329,7 @@ PlanDelta diffPlans(const CommPlan& a, const CommPlan& b) {
                           std::to_string(w.counterId);
         WriteAgg& agg = out[key];
         agg.packets += w.packets;
+        agg.payloadBytes += w.packets * w.bytes;
         agg.records += 1;
         agg.fifo += w.fifo ? 1 : 0;
         agg.inOrder += w.inOrder ? 1 : 0;
@@ -344,6 +350,10 @@ PlanDelta diffPlans(const CommPlan& a, const CommPlan& b) {
         add("write", key,
             "packets/round " + std::to_string(x.packets) + " vs " +
                 std::to_string(y.packets));
+      else if (x.payloadBytes != y.payloadBytes)
+        add("write", key,
+            "payload bytes/round " + std::to_string(x.payloadBytes) + " vs " +
+                std::to_string(y.payloadBytes));
       else if (x.fifo != y.fifo || x.inOrder != y.inOrder)
         add("write", key, "delivery flags (fifo/in-order) differ");
     }

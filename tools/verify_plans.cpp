@@ -41,6 +41,27 @@
 //                       shapes and assert every observed cross-shard link
 //                       edge respects the statically claimed bound; output
 //                       mirrors to VERIFY_oracle.json.
+//   --timing            static critical-path & link-occupancy audit (ISSUE
+//                       9): price every golden plan's happens-before graph
+//                       with the calibrated latency model — critical-path
+//                       lower bound with the bottleneck named event-by-
+//                       event, per-link x per-phase occupancy hotspots with
+//                       the timing.contention check, and degraded-mode
+//                       inflation — plus seeded-bad plans that must fire
+//                       timing.contention and timing.degraded-blowup.
+//                       Output mirrors to VERIFY_timing.json (committed
+//                       golden file, like VERIFY_lookahead.json).
+//   --timing-oracle     measured-latency oracle: run the live ping / MD /
+//                       all-reduce schedules (causal-log attribution
+//                       attached, schedule provably unperturbed) and pin
+//                       measured completion >= static lower bound with the
+//                       measured/bound slack inside each family's pinned
+//                       envelope; a seeded inflated bound must be refuted.
+//                       Output mirrors to VERIFY_timing_oracle.json.
+//   --update-goldens [DIR]  regenerate the golden plan snapshots AND the
+//                       committed verify reports (VERIFY_lookahead.json,
+//                       VERIFY_timing.json) in DIR (default
+//                       tests/golden_plans) in one step.
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -60,6 +81,7 @@
 #include "verify/checks.hpp"
 #include "verify/lookahead.hpp"
 #include "verify/snapshot.hpp"
+#include "verify/timing.hpp"
 
 using anton::bench::JsonReporter;
 
@@ -422,8 +444,8 @@ void emitLookahead(Emitter& em, const verify::LookaheadReport& r) {
 /// Audit every registered golden plan under the shipped (safe) shardings,
 /// then prove each unsafe-sharding diagnostic fires on a seeded case.
 /// Output mirrors to VERIFY_lookahead.json (committed as a golden file).
-int runLookahead() {
-  Emitter em("VERIFY_lookahead.json");
+int runLookahead(const std::string& outPath = "VERIFY_lookahead.json") {
+  Emitter em(outPath);
   int audits = 0, violations = 0, selftests = 0, selftestFailures = 0;
   for (const std::string& name : tools::goldenPlanNames()) {
     verify::CommPlan plan = tools::buildNamedPlan(name);
@@ -638,6 +660,477 @@ int runOracle() {
   return ok ? 0 : 1;
 }
 
+// --- --timing: static critical-path & link-occupancy audit (ISSUE 9) --------
+
+std::string timingLine(const verify::TimingReport& r) {
+  std::ostringstream os;
+  os << "{\"kind\":\"timing\",\"plan\":" << JsonReporter::quoted(r.plan)
+     << ",\"rounds\":" << r.rounds << ",\"events\":" << r.eventsModeled
+     << ",\"criticalPathNs\":" << JsonReporter::number(r.criticalPathNs)
+     << ",\"perRoundNs\":" << JsonReporter::number(r.perRoundNs)
+     << ",\"linksUsed\":" << r.linksUsed
+     << ",\"maxLinkDemandNs\":" << JsonReporter::number(r.maxLinkDemandNs)
+     << ",\"hotspots\":" << r.hotspots.size();
+  if (r.degradedAnalyzed)
+    os << ",\"degradedCriticalPathNs\":"
+       << JsonReporter::number(r.degradedCriticalPathNs)
+       << ",\"inflation\":" << JsonReporter::number(r.inflation)
+       << ",\"degradedStalled\":" << (r.degradedStalled ? "true" : "false");
+  os << ",\"violations\":" << r.violations.size()
+     << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
+  return os.str();
+}
+
+void emitTiming(Emitter& em, const verify::TimingReport& r) {
+  em.line(timingLine(r));
+  for (const verify::Violation& v : r.violations)
+    em.line(findingLine(r.plan, v));
+  // Top hotspots and the bottleneck tail, capped so the golden file stays
+  // reviewable (the full tables are in the TimingReport for tests).
+  std::size_t hcap = std::min<std::size_t>(4, r.hotspots.size());
+  for (std::size_t i = 0; i < hcap; ++i) {
+    const verify::LinkLoad& h = r.hotspots[i];
+    std::ostringstream os;
+    os << "{\"kind\":\"hotspot\",\"plan\":" << JsonReporter::quoted(r.plan)
+       << ",\"node\":" << h.node << ",\"link\":"
+       << JsonReporter::quoted(std::string(1, "xyz"[std::size_t(h.dim)]) +
+                               (h.sign > 0 ? "+" : "-"))
+       << ",\"phase\":" << JsonReporter::quoted(h.phase)
+       << ",\"packets\":" << h.packets
+       << ",\"occupancyNs\":" << JsonReporter::number(h.occupancyNs)
+       << ",\"windowNs\":" << JsonReporter::number(h.windowNs)
+       << ",\"utilization\":" << JsonReporter::number(h.utilization) << "}";
+    em.line(os.str());
+  }
+  std::size_t pcap = std::min<std::size_t>(6, r.bottleneckPath.size());
+  for (std::size_t i = r.bottleneckPath.size() - pcap;
+       i < r.bottleneckPath.size(); ++i) {
+    const verify::PathStep& s = r.bottleneckPath[i];
+    std::ostringstream os;
+    os << "{\"kind\":\"critical-event\",\"plan\":"
+       << JsonReporter::quoted(r.plan) << ",\"index\":" << i
+       << ",\"event\":" << JsonReporter::quoted(s.event)
+       << ",\"arrivalNs\":" << JsonReporter::number(s.arrivalNs)
+       << ",\"edgeNs\":" << JsonReporter::number(s.edgeNs) << "}";
+    em.line(os.str());
+  }
+}
+
+/// Seeded over-subscribed link: three nodes of an x-line each burst eight
+/// 2 KiB packets into node 0, funneling through the shared wrap link — the
+/// offered serialization exceeds the static completion window severalfold.
+verify::CommPlan contentionFunnelPlan() {
+  verify::CommPlan p;
+  p.name = "bad-timing-contention";
+  p.shape = {4, 1, 1};
+  p.addPhaseEdge("burst", "drain");
+  verify::CounterExpectation e;
+  e.site = "drain";
+  e.phase = "drain";
+  e.client = {0, net::kSlice0};
+  e.counterId = 0;
+  e.recoveryArmed = true;
+  for (int n = 1; n < 4; ++n) {
+    verify::PlannedWrite w;
+    w.phase = "burst";
+    w.srcNode = n;
+    w.dst = {0, net::kSlice0};
+    w.counterId = 0;
+    w.packets = 8;
+    w.bytes = 2048;
+    p.writes.push_back(w);
+    e.perRound += 8;
+    e.bySource[n] = 8;
+  }
+  p.expectations.push_back(std::move(e));
+  // Credit flow control: the drain acks each sender, and the next round's
+  // burst waits for the credit. That couples consecutive rounds across
+  // nodes, so the plan claims a finite steady-state round (a nonzero
+  // per-round budget) — which is exactly what the funnel link cannot
+  // serialize.
+  for (int n = 1; n < 4; ++n) {
+    verify::PlannedWrite ack;
+    ack.phase = "drain";
+    ack.srcNode = 0;
+    ack.dst = {n, net::kSlice0};
+    ack.counterId = 1;
+    p.writes.push_back(ack);
+    verify::CounterExpectation credit;
+    credit.site = "burst.credit";
+    credit.phase = "burst";
+    credit.client = {n, net::kSlice0};
+    credit.counterId = 1;
+    credit.perRound = 1;
+    credit.bySource[0] = 1;
+    credit.recoveryArmed = true;
+    p.expectations.push_back(std::move(credit));
+  }
+  verify::BufferPlan b;
+  b.name = "drain.slots";
+  b.client = {0, net::kSlice0};
+  b.bytes = 24 * 2048;
+  b.freePhase = "drain";
+  for (int n = 1; n < 4; ++n) b.writers.push_back({n, "burst"});
+  p.buffers.push_back(std::move(b));
+  return p;
+}
+
+/// Audit every golden plan (healthy, plus a degraded Fig. 5 variant), then
+/// prove the seeded-bad plans fire their timing diagnostics. Output mirrors
+/// to VERIFY_timing.json (committed).
+int runTiming(const std::string& outPath = "VERIFY_timing.json") {
+  Emitter em(outPath);
+  int audits = 0, violations = 0, selftests = 0, selftestFailures = 0;
+  for (const std::string& name : tools::goldenPlanNames()) {
+    verify::TimingReport r = verify::analyzeTiming(tools::buildNamedPlan(name));
+    ++audits;
+    violations += int(r.violations.size());
+    emitTiming(em, r);
+  }
+  // Degraded re-pricing of the Fig. 5 topology. Minimal dimension-ordered
+  // routing detours only while another dimension still has distance, so the
+  // down link must sit where every flow crossing it has multi-dimension
+  // remaining work: the +x link out of (6,4,4) carries only the (4,4,4)
+  // pong's x-leg (y and z still pending), which reroutes cleanly and the
+  // inflation stays under the blowup factor. Down links that strand a
+  // single-dimension flow are the stall selftest's territory below.
+  {
+    verify::CommPlan plan = tools::buildNamedPlan("fig5-ping");
+    plan.name = "fig5-ping-degraded";
+    verify::TimingOptions opts;
+    opts.downLinks = {
+        {anton::util::torusIndex({6, 4, 4}, plan.shape), 0, +1}};
+    verify::TimingReport r = verify::analyzeTiming(plan, opts);
+    ++audits;
+    violations += int(r.violations.size());
+    emitTiming(em, r);
+  }
+
+  struct TimingSelfTest {
+    std::string name;
+    std::string expect;
+    verify::CommPlan plan;
+    verify::TimingOptions opts;
+    net::LatencyConfig lat;
+  };
+  std::vector<TimingSelfTest> tests;
+  {
+    TimingSelfTest t;
+    t.name = "bad-timing-contention";
+    t.expect = "timing.contention";
+    t.plan = contentionFunnelPlan();
+    tests.push_back(std::move(t));
+  }
+  {
+    // Degraded route that blows up the critical path: two staggered down +x
+    // links zigzag the ping into five ring crossings where the healthy
+    // dimension-ordered route pays two (the rest rides straight-through
+    // transit), and an expensive on-chip ring turns each extra crossing
+    // into real time. The write is in-order so the turns price exactly.
+    TimingSelfTest t;
+    t.name = "bad-timing-degraded-blowup";
+    t.expect = "timing.degraded-blowup";
+    t.plan = tools::buildPingPlan({4, 2, 0}, {8, 4, 1});
+    t.plan.name = "bad-timing-degraded-blowup";
+    t.plan.writes[0].inOrder = true;
+    t.opts.downLinks = {
+        {anton::util::torusIndex({1, 0, 0}, {8, 4, 1}), 0, +1},
+        {anton::util::torusIndex({2, 1, 0}, {8, 4, 1}), 0, +1}};
+    t.lat.routerHopEachNs = 500.0;
+    tests.push_back(std::move(t));
+  }
+  {
+    // Unreachable delivery: a 1-D line cannot reroute around an on-axis
+    // outage, so the declared down link leaves the ping with no finite
+    // bound at all.
+    TimingSelfTest t;
+    t.name = "bad-timing-stalled";
+    t.expect = "timing.stalled";
+    t.plan = tools::buildPingPlan({1, 0, 0}, {4, 1, 1});
+    t.plan.name = "bad-timing-stalled";
+    t.opts.downLinks = {{0, 0, +1}};
+    tests.push_back(std::move(t));
+  }
+  for (TimingSelfTest& st : tests) {
+    verify::TimingReport r = verify::analyzeTiming(st.plan, st.opts, st.lat);
+    std::string detail;
+    bool fired = false;
+    for (const verify::Violation& v : r.violations)
+      if (v.check == st.expect) {
+        fired = true;
+        detail = v.detail;
+        break;
+      }
+    ++selftests;
+    if (!fired) ++selftestFailures;
+    std::ostringstream os;
+    os << "{\"kind\":\"selftest\",\"plan\":" << JsonReporter::quoted(st.name)
+       << ",\"expected\":" << JsonReporter::quoted(st.expect)
+       << ",\"violations\":" << r.violations.size()
+       << ",\"fired\":" << (fired ? "true" : "false")
+       << ",\"detail\":" << JsonReporter::quoted(detail) << "}";
+    em.line(os.str());
+  }
+
+  bool ok = violations == 0 && selftestFailures == 0;
+  std::ostringstream os;
+  os << "{\"kind\":\"summary\",\"mode\":\"timing\",\"audits\":" << audits
+     << ",\"violations\":" << violations << ",\"selftests\":" << selftests
+     << ",\"selftestFailures\":" << selftestFailures
+     << ",\"ok\":" << (ok ? "true" : "false") << "}";
+  em.line(os.str());
+  std::cerr << (ok ? "verify_plans --timing: OK"
+                   : "verify_plans --timing: FAILED")
+            << " (" << audits << " audits, " << violations << " violations, "
+            << selftestFailures << "/" << selftests << " selftest failures)\n";
+  return ok ? 0 : 1;
+}
+
+// --- --timing-oracle: measured-latency oracle --------------------------------
+
+struct TimingOracleCase {
+  std::string family;  ///< envelope key (tools::timingSlackEnvelope)
+  std::string name;    ///< case label, e.g. "fig5-ping-4-4-4"
+  double measuredNs = 0.0;
+  double boundNs = 0.0;
+  bool unperturbed = false;  ///< oracle on/off schedules bit-identical
+  std::uint64_t records = 0;  ///< causal-log records attributed
+};
+
+double pingCaseNs(anton::util::TorusCoord corner, sim::CausalLog* log,
+                  net::MachineStats* stats) {
+  anton::sim::Simulator simulator;
+  net::Machine machine(simulator, {8, 8, 8});
+  std::optional<sim::ScopedCausalOracle> oracle;
+  if (log != nullptr) oracle.emplace(*log);
+  double ns = net::oneWayLatencyNs(
+      machine, {0, net::kSlice0},
+      {anton::util::torusIndex(corner, {8, 8, 8}), net::kSlice0},
+      /*payloadBytes=*/0);
+  *stats = machine.stats();
+  return ns;
+}
+
+struct MdMeasure {
+  double finalNs = 0.0;
+  net::MachineStats stats;
+  bool worstCaseStep = false;  ///< a step ran long-range + thermostat +
+                               ///< migration (the extracted template round)
+};
+
+MdMeasure mdCaseNs(int steps, sim::CausalLog* log) {
+  anton::sim::Simulator simulator;
+  net::Machine machine(simulator, {4, 4, 4});
+  anton::md::SyntheticSystemParams sp;
+  sp.targetAtoms = 1536;
+  sp.seed = 2010;
+  anton::md::AntonMdApp app(machine, anton::md::buildSyntheticSystem(sp),
+                            tools::quickstartMdConfig());
+  std::optional<sim::ScopedCausalOracle> oracle;
+  if (log != nullptr) oracle.emplace(*log);
+  app.runSteps(steps);
+  MdMeasure m;
+  m.finalNs = sim::toNs(simulator.now());
+  m.stats = machine.stats();
+  for (const anton::md::StepTiming& st : app.stepTimings())
+    if (st.longRange && st.thermostat && st.migration) m.worstCaseStep = true;
+  return m;
+}
+
+double allReduceCaseNs(sim::CausalLog* log, net::MachineStats* stats) {
+  anton::sim::Simulator arena;
+  net::Machine machine(arena, {2, 2, 2});
+  core::DimOrderedAllReduce reduce(machine);
+  std::optional<sim::ScopedCausalOracle> oracle;
+  if (log != nullptr) oracle.emplace(*log);
+  const int n = machine.numNodes();
+  std::vector<std::vector<double>> out;
+  out.resize(std::size_t(n));
+  auto task = [&](int node) -> sim::Task {
+    std::vector<double> in(4, double(node));
+    co_await reduce.run(node, std::move(in), &out[std::size_t(node)]);
+  };
+  for (int node = 0; node < n; ++node) arena.spawn(task(node));
+  arena.run();
+  *stats = machine.stats();
+  return sim::toNs(arena.now());
+}
+
+/// Run the live ping / MD / all-reduce schedules with causal-log
+/// attribution and enforce the soundness contract of the static bound:
+/// measured completion >= analyzeTiming's lower bound, with the
+/// measured/bound slack ratio inside the family's pinned envelope, and the
+/// oracle knob itself leaving the schedule bit-identical. A seeded inflated
+/// bound must be refuted by the live measurement.
+int runTimingOracle() {
+  Emitter em("VERIFY_timing_oracle.json");
+  int violations = 0, selftests = 0, selftestFailures = 0;
+  bool schedulesMatch = true;
+  std::vector<TimingOracleCase> cases;
+  double measured1HopNs = 0.0;  // reused by the inflated-bound selftest
+
+  // Fig. 5 family: one-way counted-write pings at 1, 4 and 12 hops.
+  for (anton::util::TorusCoord corner :
+       {anton::util::TorusCoord{1, 0, 0}, anton::util::TorusCoord{2, 2, 0},
+        anton::util::TorusCoord{4, 4, 4}}) {
+    TimingOracleCase c;
+    c.family = "fig5-ping";
+    verify::CommPlan plan = tools::buildPingPlan(corner);
+    c.name = "fig5-" + plan.name;
+    verify::TimingOptions opts;
+    opts.rounds = 1;
+    c.boundNs = verify::analyzeTiming(plan, opts).criticalPathNs;
+    sim::CausalLog log;
+    net::MachineStats stats, statsBare;
+    c.measuredNs = pingCaseNs(corner, &log, &stats);
+    double bare = pingCaseNs(corner, nullptr, &statsBare);
+    c.unperturbed = c.measuredNs == bare && stats == statsBare;
+    c.records = std::uint64_t(log.records().size());
+    if (corner == anton::util::TorusCoord{1, 0, 0})
+      measured1HopNs = c.measuredNs;
+    cases.push_back(std::move(c));
+  }
+
+  // Quickstart MD family: the full run's final time against the one-round
+  // bound of the worst-case superstep template; the run must contain at
+  // least one worst-case step for the comparison to be meaningful.
+  {
+    TimingOracleCase c;
+    c.family = "quickstart-md";
+    c.name = "quickstart-md";
+    verify::TimingOptions opts;
+    opts.rounds = 1;
+    c.boundNs =
+        verify::analyzeTiming(tools::buildNamedPlan("quickstart-md"), opts)
+            .criticalPathNs;
+    sim::CausalLog log;
+    MdMeasure m = mdCaseNs(2, &log);
+    if (!m.worstCaseStep) {
+      // Cadences guarantee a worst-case step within one migration interval.
+      log = sim::CausalLog();
+      m = mdCaseNs(8, &log);
+      MdMeasure bare = mdCaseNs(8, nullptr);
+      c.unperturbed = m.finalNs == bare.finalNs && m.stats == bare.stats;
+    } else {
+      MdMeasure bare = mdCaseNs(2, nullptr);
+      c.unperturbed = m.finalNs == bare.finalNs && m.stats == bare.stats;
+    }
+    if (!m.worstCaseStep) {
+      verify::Violation v;
+      v.check = "timing.bound";
+      v.site = c.name;
+      v.detail = "no worst-case MD step executed: the one-round bound has "
+                 "nothing to anchor against";
+      ++violations;
+      em.line(findingLine(c.name, v));
+    }
+    c.measuredNs = m.finalNs;
+    c.records = std::uint64_t(log.records().size());
+    cases.push_back(std::move(c));
+  }
+
+  // Table 2 family: one live dim-ordered all-reduce call on the 2x2x2 torus.
+  {
+    TimingOracleCase c;
+    c.family = "table2-allreduce";
+    c.name = "table2-allreduce-2x2x2";
+    verify::TimingOptions opts;
+    opts.rounds = 1;
+    c.boundNs = verify::analyzeTiming(
+                    tools::buildNamedPlan("table2-allreduce-2x2x2"), opts)
+                    .criticalPathNs;
+    sim::CausalLog log;
+    net::MachineStats stats, statsBare;
+    c.measuredNs = allReduceCaseNs(&log, &stats);
+    double bare = allReduceCaseNs(nullptr, &statsBare);
+    c.unperturbed = c.measuredNs == bare && stats == statsBare;
+    c.records = std::uint64_t(log.records().size());
+    cases.push_back(std::move(c));
+  }
+
+  for (const TimingOracleCase& c : cases) {
+    std::vector<verify::Violation> vs;
+    double ratio = c.boundNs > 0.0 ? c.measuredNs / c.boundNs : 0.0;
+    tools::SlackEnvelope env = tools::timingSlackEnvelope(c.family);
+    if (c.measuredNs < c.boundNs) {
+      verify::Violation v;
+      v.check = "timing.bound";
+      v.site = c.name;
+      v.detail = "static lower bound " + std::to_string(c.boundNs) +
+                 " ns exceeds the measured completion " +
+                 std::to_string(c.measuredNs) +
+                 " ns: the bound is refuted by the live schedule";
+      vs.push_back(std::move(v));
+    } else if (ratio > env.maxRatio) {
+      verify::Violation v;
+      v.check = "timing.slack-envelope";
+      v.site = c.name;
+      v.detail = "measured/bound slack " + std::to_string(ratio) +
+                 " exceeds the pinned envelope " +
+                 std::to_string(env.maxRatio) + " for family '" + c.family +
+                 "': the static pricing decoupled from the machine model";
+      vs.push_back(std::move(v));
+    }
+    violations += int(vs.size());
+    schedulesMatch = schedulesMatch && c.unperturbed;
+    std::ostringstream os;
+    os << "{\"kind\":\"timing-oracle\",\"family\":"
+       << JsonReporter::quoted(c.family)
+       << ",\"case\":" << JsonReporter::quoted(c.name)
+       << ",\"measuredNs\":" << JsonReporter::number(c.measuredNs)
+       << ",\"boundNs\":" << JsonReporter::number(c.boundNs)
+       << ",\"ratio\":" << JsonReporter::number(ratio)
+       << ",\"maxRatio\":" << JsonReporter::number(env.maxRatio)
+       << ",\"records\":" << c.records << ",\"scheduleUnperturbed\":"
+       << (c.unperturbed ? "true" : "false")
+       << ",\"violations\":" << vs.size()
+       << ",\"ok\":" << (vs.empty() ? "true" : "false") << "}";
+    em.line(os.str());
+    for (const verify::Violation& v : vs) em.line(findingLine(c.name, v));
+  }
+
+  // Seeded inflated bound: with assembly priced at 50 us the static "bound"
+  // for the 1-hop ping dwarfs the live 162 ns measurement — the oracle must
+  // refute it (measured < claimed bound).
+  {
+    net::LatencyConfig inflated;
+    inflated.assemblyNs = 50000.0;
+    verify::TimingOptions opts;
+    opts.rounds = 1;
+    double claimed =
+        verify::analyzeTiming(tools::buildPingPlan({1, 0, 0}), opts, inflated)
+            .criticalPathNs;
+    bool fired = measured1HopNs < claimed;
+    ++selftests;
+    if (!fired) ++selftestFailures;
+    std::ostringstream os;
+    os << "{\"kind\":\"selftest\",\"plan\":"
+       << JsonReporter::quoted("bad-timing-inflated-bound")
+       << ",\"expected\":" << JsonReporter::quoted("timing.bound")
+       << ",\"claimedNs\":" << JsonReporter::number(claimed)
+       << ",\"measuredNs\":" << JsonReporter::number(measured1HopNs)
+       << ",\"fired\":" << (fired ? "true" : "false") << "}";
+    em.line(os.str());
+  }
+
+  bool ok = violations == 0 && selftestFailures == 0 && schedulesMatch;
+  std::ostringstream os;
+  os << "{\"kind\":\"summary\",\"mode\":\"timing-oracle\",\"cases\":"
+     << cases.size() << ",\"violations\":" << violations
+     << ",\"selftests\":" << selftests
+     << ",\"selftestFailures\":" << selftestFailures
+     << ",\"schedulesMatch\":" << (schedulesMatch ? "true" : "false")
+     << ",\"ok\":" << (ok ? "true" : "false") << "}";
+  em.line(os.str());
+  std::cerr << (ok ? "verify_plans --timing-oracle: OK"
+                   : "verify_plans --timing-oracle: FAILED")
+            << " (" << cases.size() << " cases, " << violations
+            << " violations, " << selftestFailures << "/" << selftests
+            << " selftest failures, schedules "
+            << (schedulesMatch ? "unperturbed" : "PERTURBED") << ")\n";
+  return ok ? 0 : 1;
+}
+
 // --- --diff / --dump-plans ---------------------------------------------------
 
 verify::CommPlan loadPlanArg(const std::string& arg) {
@@ -691,6 +1184,21 @@ int runDump(const std::string& dir) {
   return 0;
 }
 
+/// --update-goldens: regenerate every committed snapshot in place — the
+/// plan JSON files plus the golden-diffed verify reports — so an intended
+/// extractor or pricing change is a one-command refresh.
+int runUpdateGoldens(const std::string& dir) {
+  runDump(dir);
+  int la = runLookahead(
+      (std::filesystem::path(dir) / "VERIFY_lookahead.json").string());
+  int ti =
+      runTiming((std::filesystem::path(dir) / "VERIFY_timing.json").string());
+  std::cerr << "verify_plans --update-goldens: refreshed snapshots and "
+               "verify reports in "
+            << dir << "\n";
+  return la != 0 || ti != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -715,6 +1223,14 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[i], "--plan-keys") == 0) return runPlanKeys();
       if (std::strcmp(argv[i], "--lookahead") == 0) return runLookahead();
       if (std::strcmp(argv[i], "--oracle") == 0) return runOracle();
+      if (std::strcmp(argv[i], "--timing") == 0) return runTiming();
+      if (std::strcmp(argv[i], "--timing-oracle") == 0)
+        return runTimingOracle();
+      if (std::strcmp(argv[i], "--update-goldens") == 0) {
+        std::string dir = "tests/golden_plans";
+        if (i + 1 < argc && argv[i + 1][0] != '-') dir = argv[i + 1];
+        return runUpdateGoldens(dir);
+      }
       if (std::strcmp(argv[i], "--fast") == 0) {
         fast = true;
       } else if (std::strcmp(argv[i], "--selftest-only") == 0) {
@@ -722,7 +1238,8 @@ int main(int argc, char** argv) {
       } else {
         std::cerr << "usage: verify_plans [--fast] [--selftest-only] "
                      "[--dump-plans DIR] [--diff A B] [--plan-keys] "
-                     "[--lookahead] [--oracle]\n";
+                     "[--lookahead] [--oracle] [--timing] [--timing-oracle] "
+                     "[--update-goldens [DIR]]\n";
         return 2;
       }
     }
