@@ -1,0 +1,179 @@
+// End-to-end erasure recovery for counted remote writes.
+//
+// Link-level CRC retransmission repairs bit errors, but a traversal that
+// exhausts the retransmit cap *drops* its packet replica — an erasure the
+// lossless-network software model would otherwise wait on forever. This
+// layer closes the loop in software, the way the machine's firmware would:
+//
+//   - DropRegistry: a sender-side replay buffer fed by the machine's drop
+//     observer. Every dropped replica is recorded per denied receiver (for
+//     multicast, only the subtree beyond the failed link is denied — the
+//     receivers before it got their copy and must not be re-bumped).
+//   - CountedWriteWatchdog (core/watchdog.hpp): diagnoses which sources a
+//     timed-out counted wait is still owed packets from.
+//   - RecoverableCountedWrite / awaitCounted: the retry loop — wait with a
+//     deadline, diagnose, replay exactly the lost payloads from the
+//     registry (degraded-routed, so replays avoid the link that ate the
+//     original), and hard-fail with a full report when the bounded resend
+//     budget is exhausted.
+//
+// Disarmed (no registry), every wait degenerates to a plain counter poll
+// with bit-identical timing — the zero-fault path is untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "core/watchdog.hpp"
+#include "net/client.hpp"
+#include "net/packet.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace anton::net {
+class Machine;
+}
+
+namespace anton::core {
+
+/// Per-wait recovery policy.
+struct RecoveryConfig {
+  sim::Time timeout = 0;          ///< per-attempt watchdog deadline
+  int maxResends = 4;             ///< replay rounds before hard failure
+  sim::Time resendBackoff = 0;    ///< extra deadline added per retry round
+  bool rerouteOnTimeout = false;  ///< flip degraded routing on first timeout
+};
+
+/// Aggregate recovery activity (all exactly zero on a fault-free run).
+struct RecoveryStats {
+  std::uint64_t timeouts = 0;      ///< watchdog deadlines that fired
+  std::uint64_t resends = 0;       ///< packets replayed from the registry
+  std::uint64_t hardFailures = 0;  ///< waits that exhausted their budget
+  /// Timed-out rounds forgiven because the counter advanced during the
+  /// round (an upstream cascade is still draining toward us).
+  std::uint64_t progressRounds = 0;
+  void accumulate(const RecoveryStats& o) {
+    timeouts += o.timeouts;
+    resends += o.resends;
+    hardFailures += o.hardFailures;
+    progressRounds += o.progressRounds;
+  }
+};
+
+/// Sender-side replay buffer: installs itself as the machine's drop
+/// observer and records every dropped replica per denied receiver, keyed by
+/// (counter, source node, receiver) for the watchdog diagnosis to consume.
+class DropRegistry {
+ public:
+  explicit DropRegistry(net::Machine& machine);
+  ~DropRegistry();
+  DropRegistry(const DropRegistry&) = delete;
+  DropRegistry& operator=(const DropRegistry&) = delete;
+
+  /// Dropped replicas observed since construction (never forgotten, even by
+  /// prune/take — the tally is the bench's drop count).
+  std::uint64_t dropsObserved() const { return drops_; }
+
+  /// Recorded (packet, denied receiver) pairs not yet replayed.
+  std::size_t pending() const { return entries_.size(); }
+
+  /// Consume every pending replica that `srcNode` lost toward `dst` on
+  /// `counterId`. Returns the packets (payloads intact) for replay; taken
+  /// entries are removed so a second diagnosis cannot double-replay.
+  std::vector<net::PacketPtr> take(int counterId, int srcNode,
+                                   net::ClientAddr dst);
+
+  /// Discard pending entries recorded before `before` (stale drops whose
+  /// wait already hard-failed). The observed-drop tally is untouched.
+  void prune(sim::Time before);
+
+ private:
+  struct Entry {
+    net::PacketPtr packet;
+    net::ClientAddr denied;
+    sim::Time droppedAt;
+  };
+  net::Machine& machine_;
+  std::vector<Entry> entries_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Thrown (out of Simulator::run) when a recoverable wait exhausts its
+/// resend budget; carries the final timeout diagnosis.
+class RecoveryFailure : public std::runtime_error {
+ public:
+  explicit RecoveryFailure(WatchdogReport r)
+      : std::runtime_error("erasure recovery exhausted its resend budget: " +
+                           r.describe()),
+        report(std::move(r)) {}
+  WatchdogReport report;
+};
+
+/// Replay every registered drop named missing by `report`: each lost
+/// replica is re-posted by its original sender as a degraded-routed unicast
+/// to exactly the denied receiver (re-multicasting would re-bump receivers
+/// that already got their copy). Returns the number of packets replayed —
+/// zero when the shortfall is not in the registry (e.g. the upstream sender
+/// is itself still recovering).
+std::size_t resendFromRegistry(net::Machine& machine, DropRegistry& registry,
+                               const WatchdogReport& report);
+
+/// One counted-write wait with bounded erasure recovery: watchdog-guarded
+/// attempts, a resend callback per timeout, RecoveryFailure on exhaustion.
+class RecoverableCountedWrite {
+ public:
+  using ResendFn = std::function<std::size_t(const WatchdogReport&)>;
+
+  RecoverableCountedWrite(net::NetworkClient& client, int counterId,
+                          RecoveryConfig cfg)
+      : client_(client), counterId_(counterId), cfg_(cfg) {}
+
+  /// Declare the cumulative per-source expectation (see
+  /// CountedWriteWatchdog::expectFrom).
+  void expectFrom(int srcNode, std::uint64_t expected) {
+    expected_[srcNode] = expected;
+  }
+
+  /// Await counters[id] >= target. Each timeout invokes `resend` with the
+  /// diagnosis (typically resendFromRegistry) and re-arms with the deadline
+  /// stretched by resendBackoff per charged round. A round during which the
+  /// counter advanced AND the replay found nothing lost is progress-bound
+  /// (an upstream cascade still draining) and is forgiven — it does not
+  /// count against maxResends; after maxResends charged rounds the wait
+  /// throws RecoveryFailure.
+  sim::Task await(std::uint64_t target, const ResendFn& resend);
+
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  net::NetworkClient& client_;
+  int counterId_;
+  RecoveryConfig cfg_;
+  std::map<int, std::uint64_t> expected_;
+  RecoveryStats stats_;
+};
+
+/// One shared arming handle for a subsystem's counted waits: a registry to
+/// replay from, the retry policy, and an optional stats sink aggregated
+/// across every wait. Default-constructed hooks are disarmed.
+struct RecoveryHooks {
+  DropRegistry* registry = nullptr;
+  RecoveryConfig config;
+  RecoveryStats* stats = nullptr;
+  bool armed() const { return registry != nullptr; }
+};
+
+/// THE counted wait of the collectives: a plain counter poll when `hooks`
+/// is disarmed (schedule-identical to recovery-free code), a full
+/// RecoverableCountedWrite against the hooks' registry when armed.
+/// `bySource` (cumulative per-source expectations; ignored when disarmed)
+/// is taken by reference and must outlive the co_await.
+sim::Task awaitCounted(net::NetworkClient& client, int counterId,
+                       std::uint64_t target,
+                       const std::map<int, std::uint64_t>& bySource,
+                       const RecoveryHooks& hooks);
+
+}  // namespace anton::core

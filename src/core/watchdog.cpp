@@ -1,0 +1,75 @@
+#include "core/watchdog.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "net/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace anton::core {
+
+std::string WatchdogReport::describe() const {
+  std::ostringstream os;
+  os << "counted write on node " << dst.node << "/client " << dst.client
+     << " counter " << counterId << (timedOut ? " TIMED OUT" : " resolved")
+     << " at " << sim::toNs(resolvedAt) << " ns: " << arrived << "/"
+     << expected << " arrived";
+  if (!missing.empty()) {
+    os << "; missing:";
+    for (const MissingSource& m : missing)
+      os << " node " << m.node << " (" << m.arrived << "/" << m.expected
+         << ")";
+  }
+  return os.str();
+}
+
+WatchdogReport CountedWriteWatchdog::diagnose(std::uint64_t target,
+                                              bool timedOut) const {
+  WatchdogReport r;
+  r.timedOut = timedOut;
+  r.expected = target;
+  r.arrived = client_.counterValue(counterId_);
+  r.resolvedAt = client_.machine().sim().now();
+  r.dst = client_.addr();
+  r.counterId = counterId_;
+  const std::map<int, std::uint64_t> sources =
+      client_.counterSources(counterId_);
+  for (const auto& [node, want] : expected_) {
+    auto it = sources.find(node);
+    const std::uint64_t got = it == sources.end() ? 0 : it->second;
+    if (got < want) r.missing.push_back({node, want, got});
+  }
+  return r;
+}
+
+void CountedWriteWatchdog::WaitAwaiter::await_suspend(
+    std::coroutine_handle<> h) {
+  // Race: a counter waiter against a cancellable deadline event. The first
+  // to fire settles the race and retracts the other — the counter path
+  // cancels the deadline (a surviving dead deadline would stretch run() to
+  // the full timeout), the deadline path cancels the waiter (counters never
+  // reset, so an unmet threshold would pin the callback forever).
+  auto settled = std::make_shared<bool>(false);
+  auto deadline = std::make_shared<sim::Simulator::EventHandle>();
+  auto token = std::make_shared<std::uint64_t>(0);
+
+  *token = wd.client_.onCounter(wd.counterId_, target,
+                                [this, settled, deadline, h] {
+    if (*settled) return;
+    *settled = true;
+    sim::Simulator::cancel(*deadline);
+    report = wd.diagnose(target, /*timedOut=*/false);
+    h.resume();
+  });
+  *deadline = wd.client_.machine().sim().afterCancellable(
+      wd.timeout_, [this, settled, token, h] {
+        if (*settled) return;
+        *settled = true;
+        wd.client_.cancelCounterWaiter(wd.counterId_, *token);
+        if (wd.reroute_) wd.client_.machine().setFaultReroute(true);
+        report = wd.diagnose(target, /*timedOut=*/true);
+        h.resume();
+      });
+}
+
+}  // namespace anton::core

@@ -1,0 +1,94 @@
+// Counted-write watchdog: a deadline on a synchronization-counter wait.
+//
+// Anton's counted remote writes synchronize by counter thresholds alone; a
+// lost packet therefore turns a phase barrier into a silent deadlock. The
+// watchdog races a counter wait against a simulated-time deadline and, on
+// timeout, diagnoses *which sources are short* from the client's per-source
+// arrival tally — turning "the simulation hung" into "node 2 still owes 2
+// packets on counter 0". Both racers are retractable: the loser is cancelled
+// so no stale waiter pins the counter and no dead deadline stretches the
+// timeline (Simulator::run drains the queue).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace anton::core {
+
+/// Outcome of a watched counted-write wait: how it resolved, and — when it
+/// timed out — the per-source shortfall diagnosis. Carries the waiting
+/// client and counter so a recovery layer can locate the lost replicas.
+struct WatchdogReport {
+  bool timedOut = false;
+  std::uint64_t expected = 0;  ///< the counter threshold waited for
+  std::uint64_t arrived = 0;   ///< counter value when the race settled
+  sim::Time resolvedAt = 0;    ///< simulated time of resolution
+  net::ClientAddr dst;         ///< the waiting client
+  int counterId = net::kNoCounter;
+
+  /// One source that delivered fewer counted packets than declared.
+  struct MissingSource {
+    int node = 0;
+    std::uint64_t expected = 0;
+    std::uint64_t arrived = 0;
+  };
+  std::vector<MissingSource> missing;
+
+  /// Human-readable one-line summary ("... TIMED OUT ...; missing: node 2
+  /// (0/2)").
+  std::string describe() const;
+};
+
+/// Watch one counter threshold on one client with a deadline. Declare the
+/// cumulative per-source expectations with expectFrom() (sources are tallied
+/// from counter creation, so declaring them after packets have arrived still
+/// credits the full history), then `co_await wd.wait(target)`.
+class CountedWriteWatchdog {
+ public:
+  CountedWriteWatchdog(net::NetworkClient& client, int counterId,
+                       sim::Time timeout)
+      : client_(client), counterId_(counterId), timeout_(timeout) {}
+
+  /// Declare that `srcNode` owes `expected` counted packets cumulatively
+  /// (absolute, like counter targets). Only declared sources appear in the
+  /// timeout diagnosis.
+  void expectFrom(int srcNode, std::uint64_t expected) {
+    expected_[srcNode] = expected;
+  }
+
+  /// Flip the machine into degraded-mode routing when the deadline fires
+  /// (the timeout is evidence of a dead link; subsequent traffic routes
+  /// around links the fault model reports as down).
+  void rerouteOnTimeout(bool on) { reroute_ = on; }
+
+  /// Awaitable: resolve when counters[id] >= target OR the deadline fires,
+  /// whichever comes first; the loser is retracted. Resumes with the report.
+  struct WaitAwaiter {
+    CountedWriteWatchdog& wd;
+    std::uint64_t target;
+    WatchdogReport report;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    WatchdogReport await_resume() noexcept { return std::move(report); }
+  };
+  WaitAwaiter wait(std::uint64_t target) { return WaitAwaiter{*this, target, {}}; }
+
+ private:
+  friend struct WaitAwaiter;
+  WatchdogReport diagnose(std::uint64_t target, bool timedOut) const;
+
+  net::NetworkClient& client_;
+  int counterId_;
+  sim::Time timeout_;
+  bool reroute_ = false;
+  std::map<int, std::uint64_t> expected_;  ///< source node -> cumulative owed
+};
+
+}  // namespace anton::core

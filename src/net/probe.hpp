@@ -25,7 +25,12 @@ inline double oneWayLatencyNs(Machine& m, ClientAddr src, ClientAddr dst,
     co_await c.waitCounter(0, c.counterValue(0) + 1);
     out = sim::toNs(mm.sim().now());
   };
-  m.sim().spawn(receiver(m, dst, done));
+  {
+    // Pin the receiver's event chain to its node's shard under sharded
+    // mode (a no-op hint when serial).
+    sim::ScopedEventNode affinity(dst.node, false);
+    m.sim().spawn(receiver(m, dst, done));
+  }
   double start = sim::toNs(m.sim().now());
   NetworkClient::SendArgs args;
   args.dst = dst;
@@ -47,8 +52,14 @@ inline double bidirLatencyNs(Machine& m, ClientAddr a, ClientAddr b,
     co_await c.waitCounter(0, c.counterValue(0) + 1);
     out = sim::toNs(mm.sim().now());
   };
-  m.sim().spawn(receiver(m, a, doneA));
-  m.sim().spawn(receiver(m, b, doneB));
+  {
+    sim::ScopedEventNode affinityA(a.node, false);
+    m.sim().spawn(receiver(m, a, doneA));
+  }
+  {
+    sim::ScopedEventNode affinityB(b.node, false);
+    m.sim().spawn(receiver(m, b, doneB));
+  }
   double start = sim::toNs(m.sim().now());
   NetworkClient::SendArgs args;
   args.counterId = 0;

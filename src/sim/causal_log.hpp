@@ -55,10 +55,14 @@ class CausalLog {
  public:
   /// Note an event scheduled under seq `seq`. Insert-if-absent: an earlier
   /// explicit note (the batched-drain reserveSeq point) wins over the
-  /// kernel's default note at atReserved() time. `node` < 0 inherits the
-  /// scoped hint or, failing that, the executing event's node.
+  /// kernel's default note at atReserved() time. Absence spans the fallback
+  /// chain — a note migrated into the main log by an earlier window barrier
+  /// must not be shadowed by a stage entry when the drain re-arms later.
+  /// `node` < 0 inherits the scoped hint or, failing that, the executing
+  /// event's node.
   void noteScheduled(std::uint64_t seq, std::int32_t node = -1,
                      bool link = false) {
+    if (fallback_ != nullptr && fallback_->pending_.count(seq) != 0) return;
     pending_.try_emplace(seq, Pending{node >= 0 ? node
                                       : hintNode_ >= 0 ? hintNode_
                                                        : executingNode_,
@@ -67,18 +71,35 @@ class CausalLog {
   }
 
   /// The kernel is about to run the event at (t, seq): append its record
-  /// and make it the causal context for everything it schedules.
+  /// and make it the causal context for everything it schedules. A per-shard
+  /// stage log (sharded kernel) misses events that were scheduled in an
+  /// earlier window — their notes were merged into the main log — so the
+  /// lookup falls back to a read-only probe of the fallback's pending map.
   void onExecute(Time t, std::uint64_t seq) {
     Pending p;
     if (auto it = pending_.find(seq); it != pending_.end()) {
       p = it->second;
       pending_.erase(it);
+    } else if (fallback_ != nullptr) {
+      // Read-only: the main log is not touched from worker threads. The
+      // consumed entry goes stale there, which is harmless — a seq is
+      // executed (or discarded) at most once per epoch.
+      if (auto it2 = fallback_->pending_.find(seq);
+          it2 != fallback_->pending_.end())
+        p = it2->second;
     }
     records_.push_back(
         {t, seq, p.parent, p.node, epoch_, std::uint8_t(p.link ? 1 : 0)});
     executingSeq_ = seq;
     executingNode_ = p.node;
   }
+
+  /// Sharded-kernel staging: make `main` the read-only fallback for
+  /// onExecute() lookups (nullptr detaches).
+  void setFallback(const CausalLog* main) { fallback_ = main; }
+  /// Sharded-kernel staging: stage records must carry the main log's epoch.
+  void setEpoch(std::uint16_t e) { epoch_ = e; }
+  std::uint16_t epoch() const { return epoch_; }
 
   /// The event's callback returned: leave its causal context.
   void onExecuteDone() {
@@ -133,6 +154,9 @@ class CausalLog {
 
  private:
   friend class ScopedCausalNodeHint;
+  // The sharded kernel's barrier remaps provisional seqs in stage records
+  // and migrates stage pending notes into the main log.
+  friend class Simulator;
 
   struct Pending {
     std::int32_t node = -1;
@@ -142,6 +166,7 @@ class CausalLog {
 
   std::vector<CausalRecord> records_;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  const CausalLog* fallback_ = nullptr;
   std::uint64_t executingSeq_ = kNoCausalParent;
   std::int32_t executingNode_ = -1;
   std::int32_t hintNode_ = -1;

@@ -25,6 +25,7 @@ namespace anton::sim {
 
 /// Slab pool behind every sim::Task coroutine frame on this thread.
 inline util::SlabPool& taskFramePool() {
+  if (util::SlabPool* o = util::poolOverrides().taskFrame) return *o;
   thread_local util::SlabPool pool("task-frame");
   return pool;
 }
@@ -36,10 +37,12 @@ class [[nodiscard]] Task {
     std::exception_ptr exception;
 
     /// Frames are slab-allocated (recycled per size class); oversized
-    /// frames fall back to the heap inside the pool.
+    /// frames fall back to the heap inside the pool. Deletion routes through
+    /// the header's origin pool: under the sharded kernel a frame may be
+    /// destroyed on a different shard worker than the one that spawned it.
     static void* operator new(std::size_t n) { return taskFramePool().alloc(n); }
     static void operator delete(void* p, std::size_t) noexcept {
-      taskFramePool().free(p);
+      util::SlabPool::release(p);
     }
 
     Task get_return_object() {

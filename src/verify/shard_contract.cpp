@@ -1,0 +1,162 @@
+#include "verify/shard_contract.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace anton::verify {
+
+namespace json = util::json;
+
+std::vector<LookaheadContractRow> loadLookaheadContract(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("lookahead contract: cannot open " + path);
+  std::vector<LookaheadContractRow> rows;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value v =
+        json::parse(line, path + ":" + std::to_string(lineNo));
+    const std::string& kind =
+        json::asString(json::field(v, "kind", "contract row kind"),
+                       "contract row kind");
+    if (kind != "lookahead") continue;
+    LookaheadContractRow r;
+    r.plan = json::asString(json::field(v, "plan", "plan"), "plan");
+    r.sharding =
+        json::asString(json::field(v, "sharding", "sharding"), "sharding");
+    r.shards = json::asInt(json::field(v, "shards", "shards"), "shards");
+    r.safeLookaheadNs = json::asDouble(
+        json::field(v, "safeLookaheadNs", "safeLookaheadNs"),
+        "safeLookaheadNs");
+    r.conflictDegree = json::asInt(
+        json::field(v, "conflictDegree", "conflictDegree"), "conflictDegree");
+    r.crossShardEdges =
+        json::asInt(json::field(v, "crossShardEdges", "crossShardEdges"),
+                    "crossShardEdges");
+    r.events = json::asInt(json::field(v, "events", "events"), "events");
+    r.pairs = json::asInt(json::field(v, "pairs", "pairs"), "pairs");
+    r.violations =
+        json::asInt(json::field(v, "violations", "violations"), "violations");
+    r.ok = json::asBool(json::field(v, "ok", "ok"), "ok");
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+namespace {
+
+/// The shared tail: node->shard map and full-topology channel bounds.
+sim::ShardLayout layoutSkeleton(const util::TorusShape& shape,
+                                const Sharding& sharding,
+                                const net::LatencyConfig& lat) {
+  sim::ShardLayout layout;
+  layout.name = sharding.name;
+  layout.numShards = sharding.numShards;
+  layout.shardOfNode.resize(std::size_t(shape.size()));
+  for (int n = 0; n < shape.size(); ++n)
+    layout.shardOfNode[std::size_t(n)] = sharding.shardOfNode(n);
+  for (const auto& [pair, stat] : shardPairBounds(shape, sharding, lat))
+    layout.pairBoundPs[pair] = sim::ns(stat.linkBoundNs);
+  return layout;
+}
+
+[[noreturn]] void refuse(const std::string& plan, const std::string& sharding,
+                         const std::string& check, const std::string& detail) {
+  throw std::runtime_error("sharding '" + sharding + "' rejected for plan '" +
+                           plan + "' by the lookahead analyzer [" + check +
+                           "]: " + detail);
+}
+
+}  // namespace
+
+sim::ShardLayout shardLayoutFromReport(const LookaheadReport& report,
+                                       const util::TorusShape& shape,
+                                       const Sharding& sharding,
+                                       const net::LatencyConfig& lat) {
+  if (!report.ok()) {
+    const Violation& v = report.violations.front();
+    std::ostringstream os;
+    os << v.detail;
+    if (report.violations.size() > 1)
+      os << " (+" << report.violations.size() - 1 << " more violations)";
+    refuse(report.plan, report.sharding, v.check, os.str());
+  }
+  sim::ShardLayout layout = layoutSkeleton(shape, sharding, lat);
+  layout.plan = report.plan;
+  layout.safeLookaheadNs = report.safeLookaheadNs;
+  layout.conflictDegree = report.conflictDegree;
+  return layout;
+}
+
+sim::ShardLayout shardLayoutFromTopology(const util::TorusShape& shape,
+                                         const Sharding& sharding,
+                                         const net::LatencyConfig& lat) {
+  sim::ShardLayout layout = layoutSkeleton(shape, sharding, lat);
+  layout.plan = "(topology)";
+  double minBound = -1.0;
+  for (const auto& [pair, bound] : layout.pairBoundPs) {
+    double ns = double(sim::toNs(bound));
+    if (minBound < 0.0 || ns < minBound) minBound = ns;
+    if (bound <= 0)
+      refuse("(topology)", sharding.name, "lookahead.zero",
+             "shards " + std::to_string(pair.first) + " and " +
+                 std::to_string(pair.second) +
+                 " share a zero-latency boundary (a node's clients are split "
+                 "across them)");
+  }
+  layout.safeLookaheadNs = minBound < 0.0 ? 0.0 : minBound;
+  layout.conflictDegree = 0;
+  for (int s = 0; s < layout.numShards; ++s) {
+    int deg = 0;
+    for (const auto& [pair, bound] : layout.pairBoundPs)
+      if (pair.first == s || pair.second == s) ++deg;
+    layout.conflictDegree = std::max(layout.conflictDegree, deg);
+  }
+  if (layout.pairBoundPs.empty() && layout.numShards > 1)
+    throw std::runtime_error(
+        "sharding '" + sharding.name +
+        "' produced no adjacent shard pairs over this shape");
+  return layout;
+}
+
+sim::ShardLayout shardLayoutFromContract(
+    const std::vector<LookaheadContractRow>& rows, const std::string& plan,
+    const util::TorusShape& shape, const Sharding& sharding,
+    const net::LatencyConfig& lat) {
+  const LookaheadContractRow* row = nullptr;
+  for (const LookaheadContractRow& r : rows) {
+    if (r.plan == plan && r.sharding == sharding.name) {
+      row = &r;
+      break;
+    }
+  }
+  if (row == nullptr)
+    throw std::runtime_error("lookahead contract holds no row for plan '" +
+                             plan + "' under sharding '" + sharding.name +
+                             "' — the analyzer never proved this combination");
+  if (!row->ok)
+    refuse(plan, sharding.name, "lookahead",
+           "the committed contract records " +
+               std::to_string(row->violations) +
+               " violation(s) for this combination");
+  if (row->shards != sharding.numShards)
+    throw std::runtime_error(
+        "lookahead contract is stale for plan '" + plan + "' sharding '" +
+        sharding.name + "': contract proves " + std::to_string(row->shards) +
+        " shards, live sharding has " + std::to_string(sharding.numShards));
+  sim::ShardLayout layout = layoutSkeleton(shape, sharding, lat);
+  layout.plan = plan;
+  layout.safeLookaheadNs = row->safeLookaheadNs;
+  layout.conflictDegree = row->conflictDegree;
+  return layout;
+}
+
+}  // namespace anton::verify

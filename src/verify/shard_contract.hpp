@@ -1,0 +1,73 @@
+// The committed lookahead contract, as the sharded kernel consumes it.
+//
+// tests/golden_plans/VERIFY_lookahead.json is the static analyzer's safety
+// report (one JSON object per line): per (plan, sharding) the proven global
+// run-ahead budget, conflict degree, and the verdict. This module is the
+// bridge from that contract (or from a live analyzeLookahead() report) to
+// the data-only sim::ShardLayout the kernel runs with — and the single
+// place that REFUSES a sharding the analyzer rejected, with a diagnostic
+// naming the violated check (lookahead.zero, lookahead.slack,
+// lookahead.deadlock).
+//
+// Per-shard-pair channel bounds always come from live topology
+// (shardPairBounds over every adjacent pair, not just the pairs that carry
+// plan edges): adaptively routed packets may cross any adjacent boundary,
+// so the kernel's admission check must cover them all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "sim/shard_layout.hpp"
+#include "util/torus_coord.hpp"
+#include "verify/lookahead.hpp"
+
+namespace anton::verify {
+
+/// One "lookahead" row of the committed contract file.
+struct LookaheadContractRow {
+  std::string plan;
+  std::string sharding;
+  int shards = 0;
+  double safeLookaheadNs = 0.0;
+  int conflictDegree = 0;
+  int crossShardEdges = 0;
+  int events = 0;
+  int pairs = 0;
+  int violations = 0;
+  bool ok = false;
+};
+
+/// Parse the contract file (JSON-lines), keeping the "lookahead" rows.
+/// Throws std::runtime_error on an unreadable or malformed file.
+std::vector<LookaheadContractRow> loadLookaheadContract(
+    const std::string& path);
+
+/// Build the kernel's layout from a live analyzer report. Throws
+/// std::runtime_error naming the first violated check when the analyzer
+/// rejected the sharding.
+sim::ShardLayout shardLayoutFromReport(const LookaheadReport& report,
+                                       const util::TorusShape& shape,
+                                       const Sharding& sharding,
+                                       const net::LatencyConfig& lat = {});
+
+/// Build the kernel's layout from the committed contract. Throws when the
+/// contract holds no row for (plan, sharding name), when the row's verdict
+/// is not ok, or when the row's shard count disagrees with the sharding
+/// instantiated over `shape` (a stale contract).
+sim::ShardLayout shardLayoutFromContract(
+    const std::vector<LookaheadContractRow>& rows, const std::string& plan,
+    const util::TorusShape& shape, const Sharding& sharding,
+    const net::LatencyConfig& lat = {});
+
+/// Plan-free layout: the global budget is the minimum channel bound over
+/// every adjacent shard pair — classic CMB lookahead from topology alone,
+/// sound for ANY workload on the sharding (a plan-aware report can only
+/// widen it). Throws (naming lookahead.zero) when a boundary's bound is
+/// zero, i.e. a node's clients are split across shards.
+sim::ShardLayout shardLayoutFromTopology(const util::TorusShape& shape,
+                                         const Sharding& sharding,
+                                         const net::LatencyConfig& lat = {});
+
+}  // namespace anton::verify

@@ -342,6 +342,96 @@ TEST(Recovery, MulticastResendTargetsOnlyDeniedReceivers) {
   EXPECT_EQ(f.machine.stats().linkFailures, 1u);
 }
 
+TEST(Recovery, TrickleProgressRoundsDoNotChargeTheResendBudget) {
+  // Cascading recoveries: a waiter whose packets trickle in (because the
+  // upstream sender is itself mid-recovery) keeps timing out, but every
+  // round observes the counter advancing. Such progress rounds must be
+  // forgiven — with maxResends = 0 the old fixed-budget loop would have
+  // hard-failed on the very first timeout, even though nothing was lost.
+  Fixture f;
+  const int srcNode = f.nodeAt(1, 0, 0);
+  ClientAddr dst{0, kSlice0};
+  NetworkClient& dstClient = f.machine.client(dst);
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(2);
+  rc.maxResends = 0;  // zero budget: only progress keeps the wait alive
+  core::RecoverableCountedWrite rcw(dstClient, 0, rc);
+  rcw.expectFrom(srcNode, 4);
+  bool done = false;
+  int diagnoses = 0;
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(4, [&](const core::WatchdogReport&) -> std::size_t {
+      ++diagnoses;
+      return 0;  // nothing in the registry: no packet was actually lost
+    });
+    done = true;
+  };
+  f.sim.spawn(waiter());
+  // One packet per 2us round, offset so each lands mid-window: arrivals at
+  // ~1us, ~3us, ~5us, ~7us against deadlines at 2us, 4us, 6us (then the
+  // fourth arrival completes the wait before an eighth-microsecond round).
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    f.sim.after(sim::us(1) + sim::us(2) * i, [&f, srcNode, dst, i] {
+      std::uint64_t value = 0xcafe00 + i;
+      NetworkClient::SendArgs args;
+      args.dst = dst;
+      args.counterId = 0;
+      args.address = std::uint32_t(i) * 8;
+      args.inOrder = true;
+      args.payload = net::makePayload(&value, sizeof value);
+      f.machine.client({srcNode, kSlice0}).post(args);
+    });
+  }
+  f.sim.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dstClient.counterValue(0), 4u);
+  EXPECT_EQ(rcw.stats().timeouts, 3u);        // deadlines at 2, 4, 6 us
+  EXPECT_EQ(rcw.stats().progressRounds, 3u);  // every one forgiven
+  EXPECT_EQ(diagnoses, 3);                    // each round still diagnosed
+  EXPECT_EQ(rcw.stats().resends, 0u);
+  EXPECT_EQ(rcw.stats().hardFailures, 0u);
+}
+
+TEST(Recovery, StalledTrickleStillExhaustsTheBudget) {
+  // The forgiveness must not defeat the bound: once the trickle stops, the
+  // counter stops advancing and the stalled rounds burn the budget as
+  // before — a genuinely lost packet still hard-fails.
+  Fixture f;
+  DropTraversals fm({1});  // second packet is eaten
+  f.machine.setFaultModel(&fm);
+  const int srcNode = f.nodeAt(1, 0, 0);
+  NetworkClient& dstClient = f.machine.client({0, kSlice0});
+  core::RecoveryConfig rc;
+  rc.timeout = sim::us(2);
+  rc.maxResends = 1;
+  core::RecoverableCountedWrite rcw(dstClient, 0, rc);
+  rcw.expectFrom(srcNode, 2);
+  auto waiter = [&]() -> Task {
+    co_await rcw.await(2, [](const core::WatchdogReport&) -> std::size_t {
+      return 0;  // registry intentionally empty: nothing to replay
+    });
+  };
+  f.sim.spawn(waiter());
+  NetworkClient::SendArgs args;
+  args.dst = {0, kSlice0};
+  args.counterId = 0;
+  args.inOrder = true;
+  f.machine.client({srcNode, kSlice0}).post(args);  // arrives: progress
+  f.sim.after(sim::us(1), [&f, srcNode] {
+    NetworkClient::SendArgs a;
+    a.dst = {0, kSlice0};
+    a.counterId = 0;
+    a.inOrder = true;
+    f.machine.client({srcNode, kSlice0}).post(a);  // dropped: stall
+  });
+
+  EXPECT_THROW(f.sim.run(), core::RecoveryFailure);
+  EXPECT_EQ(rcw.stats().hardFailures, 1u);
+  EXPECT_EQ(rcw.stats().progressRounds, 1u);  // round 1 saw the first packet
+  EXPECT_EQ(rcw.stats().timeouts, 3u);  // progress round + initial + 1 resend
+}
+
 TEST(Recovery, ExhaustedResendBudgetHardFailsWithReport) {
   // When every copy (original and all replays) is lost, the wait must not
   // retry forever: after maxResends rounds it throws a RecoveryFailure

@@ -1,0 +1,359 @@
+// Sharded (conservative-PDES) kernel: bit-identity against the serial
+// kernel, the lookahead contract's refusal edges, and the window protocol's
+// failure modes.
+//
+// The headline claim (ISSUE 10 / DESIGN.md §13): a sharded run is
+// bit-identical to a serial one — same MachineStats, same client memories
+// and counters, same final clock, same activity-trace CSV, same causal-log
+// digest — because the window barrier replays each window's execution order
+// and hands out exactly the sequence numbers the serial kernel would have
+// issued. Everything here pins that equivalence, plus the "refuse loudly"
+// edges: analyzer-rejected shardings, non-positive budgets, and messages
+// faster than their pair's channel bound.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "net/machine.hpp"
+#include "sim/causal_log.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "trace/activity.hpp"
+#include "verify/lookahead.hpp"
+#include "verify/shard_contract.hpp"
+
+namespace anton {
+namespace {
+
+// FNV-1a over every client memory and counter bank of the machine.
+std::uint64_t machineDigest(net::Machine& m) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (int n = 0; n < m.numNodes(); ++n) {
+    for (int c = 0; c < net::kClientsPerNode; ++c) {
+      net::NetworkClient& cl = m.client({n, c});
+      for (std::byte b : cl.memory()) {
+        h ^= std::uint64_t(b);
+        h *= 0x100000001b3ULL;
+      }
+      for (int k = 0; k < cl.numCounters(); ++k) mix(cl.counterValue(k));
+    }
+  }
+  return h;
+}
+
+struct StormResult {
+  net::MachineStats stats;
+  std::uint64_t digest = 0;
+  sim::Time finalTime = 0;
+  std::uint64_t events = 0;
+  std::string traceCsv;
+  std::uint64_t causalDigest = 0;
+  sim::Simulator::ShardedStats sharded;
+};
+
+// The determinism_test seeded storm, optionally run under a sharding.
+// `shardingName` empty = serial; otherwise "per-node" or "slab-x".
+StormResult trafficStorm(std::uint64_t seed, const std::string& shardingName,
+                         int workers) {
+  util::TorusShape shape{4, 4, 4};
+  sim::Simulator sim;
+  net::Machine m(sim, shape);
+  trace::ActivityTrace trace;
+  m.setTrace(&trace);
+  sim::CausalLog log;
+  sim::ScopedCausalOracle oracle(log);
+  if (!shardingName.empty()) {
+    verify::Sharding sh = shardingName == "per-node"
+                              ? verify::perNodeSharding(shape)
+                              : verify::slabSharding(shape);
+    sim.enableSharded(verify::shardLayoutFromTopology(shape, sh), workers);
+  }
+  sim::Rng rng(seed);
+  for (int i = 0; i < 400; ++i) {
+    int srcNode = int(rng.below(std::uint64_t(m.numNodes())));
+    int srcClient = int(rng.below(4));
+    net::NetworkClient::SendArgs args;
+    args.dst = {int(rng.below(std::uint64_t(m.numNodes()))),
+                int(rng.below(4))};
+    args.counterId = int(rng.below(4));
+    args.address = std::uint32_t(rng.below(1024)) * 16;
+    std::size_t bytes = std::size_t(rng.below(32)) * 8;
+    if (bytes != 0) args.payload = net::makeZeroPayload(bytes);
+    m.client({srcNode, srcClient}).post(args);
+  }
+  StormResult r;
+  r.events = sim.run();
+  r.sharded = sim.shardedStats();
+  if (!shardingName.empty()) sim.disableSharded();
+  r.stats = m.stats();
+  r.digest = machineDigest(m);
+  r.finalTime = sim.now();
+  r.traceCsv = trace.csv();
+  r.causalDigest = log.digest();
+  return r;
+}
+
+void expectIdentical(const StormResult& serial, const StormResult& sharded) {
+  EXPECT_EQ(serial.stats, sharded.stats);
+  EXPECT_EQ(serial.digest, sharded.digest);
+  EXPECT_EQ(serial.finalTime, sharded.finalTime);
+  EXPECT_EQ(serial.events, sharded.events);
+  EXPECT_EQ(serial.traceCsv, sharded.traceCsv);
+  EXPECT_EQ(serial.causalDigest, sharded.causalDigest);
+}
+
+TEST(ShardedKernel, PerNodeStormIsBitIdenticalToSerial) {
+  StormResult serial = trafficStorm(7, "", 0);
+  StormResult sharded = trafficStorm(7, "per-node", 0);
+  expectIdentical(serial, sharded);
+  EXPECT_GT(sharded.sharded.windows, 0u);
+  EXPECT_GT(sharded.sharded.shardEvents, 0u);
+  EXPECT_GT(sharded.sharded.mailsDelivered, 0u);
+}
+
+TEST(ShardedKernel, SlabStormIsBitIdenticalToSerial) {
+  StormResult serial = trafficStorm(11, "", 0);
+  StormResult sharded = trafficStorm(11, "slab-x", 0);
+  expectIdentical(serial, sharded);
+}
+
+TEST(ShardedKernel, WorkerThreadsMatchTheSingleThreadedWindows) {
+  StormResult zero = trafficStorm(7, "per-node", 0);
+  StormResult two = trafficStorm(7, "per-node", 2);
+  StormResult four = trafficStorm(7, "per-node", 4);
+  expectIdentical(zero, two);
+  expectIdentical(zero, four);
+  EXPECT_EQ(zero.sharded.windows, four.sharded.windows);
+  EXPECT_EQ(zero.sharded.mailsDelivered, four.sharded.mailsDelivered);
+}
+
+TEST(ShardedKernel, SplitNodeShardingIsRefusedNamingTheViolation) {
+  util::TorusShape shape{2, 2, 2};
+  verify::Sharding split = verify::splitNodeSharding(shape);
+  try {
+    verify::shardLayoutFromTopology(shape, split);
+    FAIL() << "split-node sharding must be refused";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead.zero"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardedKernel, AnalyzerRejectionIsRefusedAtLayoutConstruction) {
+  // A counted write into an accumulation memory: under the split-node
+  // sharding the receiving node's program order becomes a zero-latency
+  // cross-shard edge, which the analyzer rejects. The layout builder must
+  // surface the analyzer's own check id, not a generic error.
+  util::TorusShape shape{2, 1, 1};
+  verify::CommPlan plan;
+  plan.name = "refusal-probe";
+  plan.shape = shape;
+  plan.addPhaseEdge("send", "recv");
+  verify::PlannedWrite w;
+  w.phase = "send";
+  w.srcNode = 0;
+  w.dst = {1, net::kAccum0};
+  w.counterId = 0;
+  plan.writes.push_back(w);
+  verify::CounterExpectation e;
+  e.site = "recv";
+  e.phase = "recv";
+  e.client = {1, net::kAccum0};
+  e.counterId = 0;
+  e.perRound = 1;
+  e.recoveryArmed = true;
+  plan.expectations.push_back(e);
+  verify::Sharding split = verify::splitNodeSharding(shape);
+  verify::LookaheadReport report = verify::analyzeLookahead(plan, split);
+  EXPECT_FALSE(report.ok());
+  try {
+    verify::shardLayoutFromReport(report, shape, split);
+    FAIL() << "rejected report must not produce a layout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead."), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardedKernel, KernelRefusesNonPositiveLookaheadBudget) {
+  sim::Simulator sim;
+  sim::ShardLayout layout;
+  layout.name = "hand-rolled";
+  layout.numShards = 2;
+  layout.shardOfNode = {0, 1};
+  layout.safeLookaheadNs = 53.0;
+  layout.pairBoundPs[{0, 1}] = 0;  // a zero channel bound poisons the budget
+  EXPECT_THROW(sim.enableSharded(layout), std::invalid_argument);
+  EXPECT_FALSE(sim.shardedEnabled());
+}
+
+TEST(ShardedKernel, StepIsRefusedUnderShardedMode) {
+  util::TorusShape shape{2, 2, 2};
+  sim::Simulator sim;
+  sim.enableSharded(
+      verify::shardLayoutFromTopology(shape, verify::perNodeSharding(shape)));
+  EXPECT_THROW(sim.step(), std::logic_error);
+  sim.disableSharded();
+  EXPECT_FALSE(sim.step());  // serial again, idle
+}
+
+TEST(ShardedKernel, DisableWithPendingShardEventsThrows) {
+  util::TorusShape shape{2, 2, 2};
+  sim::Simulator sim;
+  net::Machine m(sim, shape);
+  sim.enableSharded(
+      verify::shardLayoutFromTopology(shape, verify::perNodeSharding(shape)));
+  net::NetworkClient::SendArgs args;
+  args.dst = {5, 0};
+  args.counterId = 0;
+  m.client({0, 0}).post(args);
+  EXPECT_THROW(sim.disableSharded(), std::logic_error);
+  sim.run();
+  sim.disableSharded();  // drained: now fine
+  EXPECT_FALSE(sim.shardedEnabled());
+}
+
+TEST(ShardedKernel, ResetTearsShardedModeDown) {
+  util::TorusShape shape{2, 2, 2};
+  sim::Simulator sim;
+  net::Machine m(sim, shape);
+  sim.enableSharded(
+      verify::shardLayoutFromTopology(shape, verify::perNodeSharding(shape)),
+      2);
+  net::NetworkClient::SendArgs args;
+  args.dst = {5, 0};
+  args.counterId = 0;
+  m.client({0, 0}).post(args);
+  EXPECT_GT(sim.reset(), 0u);  // pending events discarded...
+  EXPECT_FALSE(sim.shardedEnabled());  // ...and sharding did not survive
+  EXPECT_EQ(sim.now(), 0);
+  // The kernel is serially usable again.
+  bool ran = false;
+  sim.at(sim::ns(1), [&ran] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardedKernel, MachineRefusesShardingWithAFaultModelInstalled) {
+  util::TorusShape shape{2, 2, 2};
+  sim::Simulator sim;
+  net::Machine m(sim, shape);
+  struct NullFaults : net::FaultModel {
+    net::LinkFaultOutcome onLinkTraversal(int, int, int, std::size_t,
+                                          sim::Time) override {
+      return {};
+    }
+    bool linkDown(int, int, int, sim::Time) const override { return false; }
+    sim::Time routerStallUntil(int, sim::Time t) const override { return t; }
+  } faults;
+  m.setFaultModel(&faults);
+  EXPECT_THROW(
+      sim.enableSharded(verify::shardLayoutFromTopology(
+          shape, verify::perNodeSharding(shape))),
+      std::logic_error);
+  // The refusal rolled sharded mode back entirely.
+  EXPECT_FALSE(sim.shardedEnabled());
+  m.setFaultModel(nullptr);
+  sim.enableSharded(
+      verify::shardLayoutFromTopology(shape, verify::perNodeSharding(shape)));
+  EXPECT_THROW(m.setFaultModel(&faults), std::logic_error);
+  sim.disableSharded();
+}
+
+// --- the committed contract file -------------------------------------------
+
+TEST(LookaheadContract, CommittedContractRowsDriveLayouts) {
+  auto rows = verify::loadLookaheadContract(
+      std::string(GOLDEN_PLANS_DIR) + "/VERIFY_lookahead.json");
+  ASSERT_FALSE(rows.empty());
+  // Every committed row is ok (the analyzer refused nothing it shipped).
+  for (const auto& r : rows) EXPECT_TRUE(r.ok) << r.plan << "/" << r.sharding;
+
+  util::TorusShape shape{8, 8, 8};  // fig5-ping's shape
+  sim::ShardLayout layout = verify::shardLayoutFromContract(
+      rows, "fig5-ping", shape, verify::perNodeSharding(shape));
+  EXPECT_EQ(layout.numShards, 512);
+  EXPECT_DOUBLE_EQ(layout.safeLookaheadNs, 53.0);
+  EXPECT_GT(layout.effectiveLookaheadPs(), 0);
+  EXPECT_EQ(layout.conflictDegree, 5);
+}
+
+TEST(LookaheadContract, UnknownPlanOrShardingIsRefused) {
+  auto rows = verify::loadLookaheadContract(
+      std::string(GOLDEN_PLANS_DIR) + "/VERIFY_lookahead.json");
+  util::TorusShape shape{8, 8, 8};
+  EXPECT_THROW(verify::shardLayoutFromContract(rows, "no-such-plan", shape,
+                                               verify::perNodeSharding(shape)),
+               std::runtime_error);
+}
+
+TEST(LookaheadContract, NotOkRowIsRefusedNamingTheContract) {
+  // The committed file holds no rejected rows, so pin the refusal edge with
+  // a hermetic contract: one row, ok=false.
+  std::string path = ::testing::TempDir() + "/rejected_contract.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"kind":"lookahead","plan":"p","sharding":"s","shards":2,)"
+        << R"("safeLookaheadNs":0,"conflictDegree":1,"crossShardEdges":3,)"
+        << R"("events":10,"pairs":1,"violations":2,"ok":false})" << "\n";
+  }
+  auto rows = verify::loadLookaheadContract(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ok);
+  util::TorusShape shape{2, 1, 1};
+  verify::Sharding sh = verify::perNodeSharding(shape);
+  sh.name = "s";
+  try {
+    verify::shardLayoutFromContract(rows, "p", shape, sh);
+    FAIL() << "ok=false contract row must refuse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("violation"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LookaheadContract, StaleShardCountIsRefused) {
+  std::string path = ::testing::TempDir() + "/stale_contract.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"kind":"lookahead","plan":"p","sharding":"per-node","shards":99,)"
+        << R"("safeLookaheadNs":53,"conflictDegree":1,"crossShardEdges":3,)"
+        << R"("events":10,"pairs":1,"violations":0,"ok":true})" << "\n";
+  }
+  auto rows = verify::loadLookaheadContract(path);
+  util::TorusShape shape{2, 1, 1};  // live sharding: 2 shards, contract: 99
+  try {
+    verify::shardLayoutFromContract(rows, "p", shape,
+                                    verify::perNodeSharding(shape));
+    FAIL() << "stale contract must refuse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("stale"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LookaheadContract, MalformedContractFileThrows) {
+  std::string path = ::testing::TempDir() + "/malformed_contract.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"kind\":\"lookahead\", nope}\n";
+  }
+  EXPECT_THROW(verify::loadLookaheadContract(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(verify::loadLookaheadContract("/no/such/file.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace anton

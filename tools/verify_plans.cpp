@@ -39,8 +39,13 @@
 //   --oracle            dynamic causal-order cross-check: record a causal
 //                       trace of the live quickstart MD and Fig. 5 ping
 //                       shapes and assert every observed cross-shard link
-//                       edge respects the statically claimed bound; output
-//                       mirrors to VERIFY_oracle.json.
+//                       edge respects the statically claimed bound; then
+//                       re-run both workloads on the sharded kernel itself
+//                       (per-node and slab-x, 2 workers, budget from the
+//                       committed contract) and require the live parallel
+//                       schedule to pass the same causal check AND stay
+//                       bit-identical to serial; output mirrors to
+//                       VERIFY_oracle.json.
 //   --timing            static critical-path & link-occupancy audit (ISSUE
 //                       9): price every golden plan's happens-before graph
 //                       with the calibrated latency model — critical-path
@@ -80,6 +85,7 @@
 #include "sim/simulator.hpp"
 #include "verify/checks.hpp"
 #include "verify/lookahead.hpp"
+#include "verify/shard_contract.hpp"
 #include "verify/snapshot.hpp"
 #include "verify/timing.hpp"
 
@@ -518,54 +524,76 @@ int runLookahead(const std::string& outPath = "VERIFY_lookahead.json") {
 
 // --- --oracle: dynamic causal-order cross-check -----------------------------
 
+/// One live execution of an oracle workload: serial or sharded, with or
+/// without the causal oracle attached.
+struct LiveRun {
+  sim::Time finalTime = 0;
+  net::MachineStats stats;
+  sim::CausalLog log;  ///< filled only when the oracle was attached
+};
+
 struct OracleWorkload {
   std::string name;
   anton::util::TorusShape shape;
-  sim::Time finalTime = 0;      ///< oracle attached
-  sim::Time finalTimeBare = 0;  ///< oracle detached (must match)
-  net::MachineStats stats;      ///< oracle attached
-  net::MachineStats statsBare;  ///< oracle detached (must match)
+  LiveRun traced;  ///< serial, oracle attached
+  LiveRun bare;    ///< serial, oracle detached (must match traced)
   bool statsMatch = false;
-  sim::CausalLog log;
 };
 
 /// The quickstart MD configuration, run live for two supersteps — the same
-/// extraction the "quickstart-md" golden plan audits statically.
-void runMdWorkload(OracleWorkload& w, bool withOracle) {
+/// extraction the "quickstart-md" golden plan audits statically. When a
+/// layout is given the run uses the sharded kernel (2 worker threads) with
+/// recovery disarmed: the drop registry is the one cross-shard mutable
+/// fault-model object, and an armed-but-idle watchdog is timing-invisible,
+/// so the result must still be bit-identical to the armed serial run.
+LiveRun runMdWorkload(const anton::util::TorusShape& shape, bool withOracle,
+                      const sim::ShardLayout* layout) {
+  LiveRun r;
   anton::sim::Simulator simulator;
-  net::Machine machine(simulator, w.shape);
+  net::Machine machine(simulator, shape);
   anton::md::SyntheticSystemParams sp;
   sp.targetAtoms = 1536;
   sp.seed = 2010;
+  anton::md::AntonMdConfig cfg = tools::quickstartMdConfig();
+  if (layout != nullptr) cfg.recoveryTimeoutUs = 0;
   anton::md::AntonMdApp app(machine, anton::md::buildSyntheticSystem(sp),
-                            tools::quickstartMdConfig());
-  if (withOracle) {
-    sim::ScopedCausalOracle oracle(w.log);
-    app.runSteps(2);
-    w.finalTime = simulator.now();
-    w.stats = machine.stats();
-  } else {
-    app.runSteps(2);
-    w.finalTimeBare = simulator.now();
-    w.statsBare = machine.stats();
-  }
+                            cfg);
+  std::optional<sim::ScopedCausalOracle> oracle;
+  if (withOracle) oracle.emplace(r.log);
+  if (layout != nullptr) simulator.enableSharded(*layout, /*workers=*/2);
+  app.runSteps(2);
+  if (layout != nullptr) simulator.disableSharded();
+  r.finalTime = simulator.now();
+  r.stats = machine.stats();
+  return r;
 }
 
 /// Fig. 5-style counted-write pings on the paper's 8x8x8 torus at 1, 4 and
 /// 12 hops (the probe helpers are the same ones behind the Fig. 5 bench).
-void runPingWorkload(OracleWorkload& w, bool withOracle) {
+LiveRun runPingWorkload(const anton::util::TorusShape& shape, bool withOracle,
+                        const sim::ShardLayout* layout) {
+  LiveRun r;
   anton::sim::Simulator simulator;
-  net::Machine machine(simulator, w.shape);
+  net::Machine machine(simulator, shape);
   std::optional<sim::ScopedCausalOracle> oracle;
-  if (withOracle) oracle.emplace(w.log);
+  if (withOracle) oracle.emplace(r.log);
+  if (layout != nullptr) simulator.enableSharded(*layout, /*workers=*/2);
   for (anton::util::TorusCoord dst :
        {anton::util::TorusCoord{1, 0, 0}, anton::util::TorusCoord{2, 2, 0},
         anton::util::TorusCoord{4, 4, 4}})
     net::oneWayLatencyNs(machine, {0, net::kSlice0},
-                         {anton::util::torusIndex(dst, w.shape), net::kSlice0},
+                         {anton::util::torusIndex(dst, shape), net::kSlice0},
                          64);
-  (withOracle ? w.finalTime : w.finalTimeBare) = simulator.now();
-  (withOracle ? w.stats : w.statsBare) = machine.stats();
+  if (layout != nullptr) simulator.disableSharded();
+  r.finalTime = simulator.now();
+  r.stats = machine.stats();
+  return r;
+}
+
+LiveRun runWorkload(const OracleWorkload& w, bool withOracle,
+                    const sim::ShardLayout* layout = nullptr) {
+  return w.name == "quickstart-md" ? runMdWorkload(w.shape, withOracle, layout)
+                                   : runPingWorkload(w.shape, withOracle, layout);
 }
 
 std::string oracleLine(const OracleWorkload& w, const std::string& sharding,
@@ -578,20 +606,58 @@ std::string oracleLine(const OracleWorkload& w, const std::string& sharding,
      << ",\"crossShardEdges\":" << r.crossShardEdges
      << ",\"minObservedNs\":" << JsonReporter::number(r.minObservedNs)
      << ",\"scheduleUnperturbed\":"
-     << (w.finalTime == w.finalTimeBare && w.statsMatch ? "true" : "false")
+     << (w.traced.finalTime == w.bare.finalTime && w.statsMatch ? "true"
+                                                                : "false")
      << ",\"violations\":" << r.violations.size()
      << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
+  return os.str();
+}
+
+std::string shardedOracleLine(const OracleWorkload& w,
+                              const std::string& sharding, bool identical,
+                              bool fromContract,
+                              const verify::OracleCheckResult& r) {
+  std::ostringstream os;
+  os << "{\"kind\":\"oracle-sharded\",\"workload\":"
+     << JsonReporter::quoted(w.name)
+     << ",\"sharding\":" << JsonReporter::quoted(sharding)
+     << ",\"workers\":2,\"contract\":" << (fromContract ? "true" : "false")
+     << ",\"records\":" << r.recordsSeen
+     << ",\"linkEdges\":" << r.linkEdgesChecked
+     << ",\"crossShardEdges\":" << r.crossShardEdges
+     << ",\"minObservedNs\":" << JsonReporter::number(r.minObservedNs)
+     << ",\"bitIdenticalToSerial\":" << (identical ? "true" : "false")
+     << ",\"violations\":" << r.violations.size()
+     << ",\"ok\":" << (r.ok() && identical ? "true" : "false") << "}";
   return os.str();
 }
 
 /// Record a causal trace of the live quickstart MD and Fig. 5 ping shapes,
 /// check every observed cross-shard link edge against the same bounds the
 /// static analyzer proves, and confirm the oracle knob did not perturb the
-/// schedule (final clock identical with the knob off).
+/// schedule (final clock identical with the knob off). Then re-run each
+/// workload live on the sharded kernel (2 workers, per-node and slab-x,
+/// lookahead budget taken from the committed contract when available) and
+/// hold the parallel schedule to the same two standards: its causal log
+/// passes the oracle check, and its result is bit-identical to serial.
 int runOracle() {
   Emitter em("VERIFY_oracle.json");
   int violations = 0, selftests = 0, selftestFailures = 0;
   bool schedulesMatch = true;
+
+  // Prefer the committed lookahead contract — the oracle should exercise
+  // the exact budget the kernel ships with. Fall back to the plan-free
+  // topology bound (sound for any workload) when run outside a checkout.
+  const char* kContractPath = "tests/golden_plans/VERIFY_lookahead.json";
+  std::vector<verify::LookaheadContractRow> contract;
+  bool haveContract = false;
+  try {
+    contract = verify::loadLookaheadContract(kContractPath);
+    haveContract = true;
+  } catch (const std::exception& e) {
+    std::cerr << "verify_plans --oracle: warning: " << e.what()
+              << "; sharded runs will use the topology bound\n";
+  }
 
   std::vector<OracleWorkload> workloads(2);
   workloads[0].name = "quickstart-md";
@@ -599,24 +665,36 @@ int runOracle() {
   workloads[1].name = "fig5-ping";
   workloads[1].shape = {8, 8, 8};
   for (OracleWorkload& w : workloads) {
-    if (w.name == "quickstart-md") {
-      runMdWorkload(w, true);
-      runMdWorkload(w, false);
-    } else {
-      runPingWorkload(w, true);
-      runPingWorkload(w, false);
-    }
-    w.statsMatch = w.stats == w.statsBare;
-    schedulesMatch =
-        schedulesMatch && w.finalTime == w.finalTimeBare && w.statsMatch;
+    w.traced = runWorkload(w, /*withOracle=*/true);
+    w.bare = runWorkload(w, /*withOracle=*/false);
+    w.statsMatch = w.traced.stats == w.bare.stats;
+    schedulesMatch = schedulesMatch &&
+                     w.traced.finalTime == w.bare.finalTime && w.statsMatch;
     for (const verify::Sharding& sh :
          {verify::perNodeSharding(w.shape), verify::slabSharding(w.shape)}) {
       verify::OracleCheckResult r =
-          verify::checkCausalLog(w.log.records(), w.shape, sh);
+          verify::checkCausalLog(w.traced.log.records(), w.shape, sh);
       violations += int(r.violations.size());
       em.line(oracleLine(w, sh.name, r));
       for (const verify::Violation& v : r.violations)
         em.line(findingLine(w.name, v));
+
+      // Live sharded execution under this sharding's committed budget.
+      sim::ShardLayout layout =
+          haveContract
+              ? verify::shardLayoutFromContract(contract, w.name, w.shape, sh)
+              : verify::shardLayoutFromTopology(w.shape, sh);
+      OracleWorkload sharded = w;
+      sharded.traced = runWorkload(w, /*withOracle=*/true, &layout);
+      bool identical = sharded.traced.finalTime == w.bare.finalTime &&
+                       sharded.traced.stats == w.bare.stats;
+      schedulesMatch = schedulesMatch && identical;
+      verify::OracleCheckResult rs = verify::checkCausalLog(
+          sharded.traced.log.records(), w.shape, sh);
+      violations += int(rs.violations.size());
+      em.line(shardedOracleLine(w, sh.name, identical, haveContract, rs));
+      for (const verify::Violation& v : rs.violations)
+        em.line(findingLine(w.name + "-sharded", v));
     }
   }
 
@@ -627,7 +705,7 @@ int runOracle() {
     verify::Sharding inflated =
         verify::claimedLookaheadSharding(w.shape, 1.0e6);
     verify::OracleCheckResult r =
-        verify::checkCausalLog(w.log.records(), w.shape, inflated);
+        verify::checkCausalLog(w.traced.log.records(), w.shape, inflated);
     bool fired = false;
     for (const verify::Violation& v : r.violations)
       if (v.check == "oracle.lookahead") fired = true;
